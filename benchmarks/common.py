@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the thesis evaluation:
+the series/rows are printed and also written to ``benchmarks/results/`` so
+they survive pytest's output capturing.  Expensive per-benchmark task
+construction is cached across benches within a session.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+from repro.core import build_task
+from repro.rtsched import PeriodicTask, TaskSet, scale_periods_for_utilization
+from repro.workloads import get_program
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, lines: list[str]) -> None:
+    """Print a table/series and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===\n{text}")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@functools.lru_cache(maxsize=None)
+def cached_task(name: str, salt: int = 0, objective: str = "avg") -> PeriodicTask:
+    """Build (and cache) a periodic task with its configuration curve."""
+    return build_task(get_program(name, salt), objective=objective)
+
+
+def cached_task_set(
+    names: tuple[str, ...], utilization: float, label: str = ""
+) -> TaskSet:
+    """A task set over cached tasks with periods scaled to *utilization*."""
+    seen: dict[str, int] = {}
+    tasks = []
+    for name in names:
+        salt = seen.get(name, 0)
+        seen[name] = salt + 1
+        tasks.append(cached_task(name, salt))
+    return scale_periods_for_utilization(tasks, utilization, name=label)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,227 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper tables — these quantify the knobs this implementation adds:
+
+* MLGP refinement passes and seed sensitivity;
+* register-port (I/O) constraint sweep on achievable speedup;
+* selection-solver shootout (greedy / B&B / ILP / GA / SA);
+* reconfiguration architecture comparison (static / temporal-only /
+  temporal+spatial / partial) and the software-demotion post-pass;
+* base-processor issue width vs. customization benefit (list scheduler).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.common import emit, once
+from repro.enumeration import build_candidate_library
+from repro.graphs import rewrite_block
+from repro.mlgp import mlgp_partition
+from repro.reconfig import (
+    iterative_partition,
+    iterative_partition_partial,
+    spatial_select,
+    temporal_only_partition,
+)
+from repro.selection import (
+    select_annealing,
+    select_branch_bound,
+    select_genetic,
+    select_greedy,
+    select_ilp,
+)
+from repro.workloads import get_program, synthetic_loops, synthetic_trace
+
+
+def _hot_region(name: str):
+    program = get_program(name)
+    block = max(program.basic_blocks, key=lambda b: len(b.dfg))
+    region = block.dfg.regions()[0]
+    return block.dfg, region
+
+
+def test_ablation_mlgp_refinement(benchmark):
+    """Gain/time vs refinement passes; seed sensitivity."""
+
+    def run():
+        dfg, region = _hot_region("sha")
+        lines = ["passes  gain   area   time_s"]
+        for passes in (0, 1, 3, 6):
+            t0 = time.perf_counter()
+            res = mlgp_partition(dfg, region, refine_passes=passes)
+            lines.append(
+                f"{passes:6d}  {res.total_gain:5.0f}  {res.total_area:5.0f}"
+                f"  {time.perf_counter() - t0:6.2f}"
+            )
+        gains = [
+            mlgp_partition(dfg, region, seed=s).total_gain for s in range(5)
+        ]
+        spread = (max(gains) - min(gains)) / max(gains)
+        lines.append(f"seed spread over 5 seeds: {100 * spread:.1f}%")
+        return lines
+
+    lines = once(benchmark, run)
+    emit("ablation_mlgp_refinement", lines)
+    # Refinement never hurts the gain.
+    gains = [float(l.split()[1]) for l in lines[1:5]]
+    assert gains[-1] >= gains[0] - 1e-9
+
+
+def test_ablation_io_constraints(benchmark):
+    """Achievable speedup vs register-port constraints (Nin, Nout)."""
+
+    def run():
+        program = get_program("blowfish")
+        lines = ["Nin  Nout  candidates  speedup"]
+        from repro.selection import build_configuration_curve
+
+        for nin, nout in ((2, 1), (4, 2), (6, 3), (8, 4)):
+            lib = build_candidate_library(
+                program, max_inputs=nin, max_outputs=nout
+            )
+            curve = build_configuration_curve(program, lib.candidates)
+            speedup = curve[0].cycles / curve[-1].cycles
+            lines.append(
+                f"{nin:3d}  {nout:4d}  {len(lib):10d}  {speedup:7.3f}"
+            )
+        return lines
+
+    lines = once(benchmark, run)
+    emit("ablation_io_constraints", lines)
+    speedups = [float(l.split()[3]) for l in lines[1:]]
+    # The 2-in/1-out straitjacket is clearly worst; beyond (4, 2) the
+    # bounded enumeration explores different candidate pools, so exact
+    # monotonicity is not guaranteed — only that ports matter a lot.
+    assert speedups[0] == min(speedups)
+    assert max(speedups) > speedups[0] * 1.3
+
+
+def test_ablation_selection_solvers(benchmark):
+    """Quality and runtime of the five selection solvers on one library."""
+
+    def run():
+        program = get_program("rijndael")
+        lib = build_candidate_library(program)
+        cands = lib.candidates[:120]
+        budget = 0.3 * sum(c.area for c in cands)
+        solvers = [
+            ("greedy", lambda: select_greedy(cands, budget)),
+            (
+                "branch-bound",
+                lambda: select_branch_bound(cands, budget, max_nodes=300_000),
+            ),
+            ("ilp", lambda: select_ilp(cands, budget)),
+            ("genetic", lambda: select_genetic(cands, budget, seed=1)),
+            ("annealing", lambda: select_annealing(cands, budget, seed=1)),
+        ]
+        lines = ["solver        gain       time_s"]
+        results = {}
+        for name, solve in solvers:
+            t0 = time.perf_counter()
+            sel = solve()
+            dt = time.perf_counter() - t0
+            gain = sum(cands[i].total_gain for i in sel)
+            results[name] = gain
+            lines.append(f"{name:12s}  {gain:9.0f}  {dt:7.3f}")
+        return lines, results
+
+    lines, results = once(benchmark, run)
+    emit("ablation_selection_solvers", lines)
+    # The ILP is exact; node-capped B&B and the heuristics track it.  This
+    # instance has hundreds of conflicts, so B&B within its node budget and
+    # the population heuristics land near (not at) the optimum.
+    optimum = results["ilp"]
+    for solver in ("greedy", "branch-bound", "genetic", "annealing"):
+        assert results[solver] <= optimum + 1e-6
+        assert results[solver] >= 0.8 * optimum
+
+
+def test_ablation_reconfig_architectures(benchmark):
+    """Static vs temporal-only vs temporal+spatial vs partial fabric."""
+
+    def run():
+        lines = ["n_loops  static  temporal_only  full  partial"]
+        for n in (10, 20, 40):
+            loops = synthetic_loops(n, seed=n)
+            trace = synthetic_trace(n, seed=n)
+            max_area, rho = 150.0, 400.0
+            _sel, static_gain = spatial_select(loops, max_area)
+            temp = temporal_only_partition(loops, trace, max_area, rho)
+            full = iterative_partition(loops, trace, max_area, rho)
+            _psol, partial_gain = iterative_partition_partial(
+                loops, trace, max_area, rho / max_area
+            )
+            lines.append(
+                f"{n:7d}  {static_gain:6.0f}  {temp.gain:13.0f}"
+                f"  {full.gain:4.0f}  {partial_gain:7.0f}"
+            )
+        return lines
+
+    lines = once(benchmark, run)
+    emit("ablation_reconfig_architectures", lines)
+    for line in lines[1:]:
+        _n, static, temp, full, partial = (float(x) for x in line.split())
+        assert full >= temp - 1e-9  # spatial sharing dominates temporal-only
+        assert full >= static - 1e-9  # reconfiguration dominates static
+        assert partial >= full - 1e-9  # cheaper loads dominate full reloads
+
+
+def test_ablation_prune_pass(benchmark):
+    """Effect of the software-demotion post-pass on solution quality."""
+
+    def run():
+        lines = ["n_loops  no_prune  with_prune  improvement_%"]
+        for n in (10, 20, 40, 60):
+            loops = synthetic_loops(n, seed=n)
+            trace = synthetic_trace(n, seed=n)
+            base = iterative_partition(loops, trace, 150.0, 400.0, prune=False)
+            pruned = iterative_partition(loops, trace, 150.0, 400.0, prune=True)
+            imp = 100.0 * (pruned.gain - base.gain) / max(1.0, abs(base.gain))
+            lines.append(
+                f"{n:7d}  {base.gain:8.0f}  {pruned.gain:10.0f}  {imp:12.1f}"
+            )
+        return lines
+
+    lines = once(benchmark, run)
+    emit("ablation_prune_pass", lines)
+    for line in lines[1:]:
+        base, pruned = float(line.split()[1]), float(line.split()[2])
+        assert pruned >= base - 1e-9
+
+
+def test_ablation_issue_width(benchmark):
+    """Customization benefit vs base-processor issue width.
+
+    Wider cores already exploit ILP, so folding operations into custom
+    instructions saves fewer cycles — the classic motivation for measuring
+    speedups on a single-issue baseline.
+    """
+
+    def run():
+        program = get_program("adpcm")
+        block = max(program.basic_blocks, key=lambda b: len(b.dfg))
+        dfg = block.dfg
+        region = dfg.regions()[0]
+        from repro.graphs import acyclic_subset
+
+        cis = acyclic_subset(
+            dfg, mlgp_partition(dfg, region).custom_instructions()
+        )
+        lines = ["width  plain_cycles  custom_cycles  saved_%"]
+        plain = rewrite_block(dfg, [])
+        custom = rewrite_block(dfg, cis)
+        for width in (1, 2, 4):
+            p = plain.scheduled_cycles(issue_width=width)
+            c = custom.scheduled_cycles(issue_width=width)
+            lines.append(
+                f"{width:5d}  {p:12d}  {c:13d}  {100 * (p - c) / p:7.1f}"
+            )
+        return lines
+
+    lines = once(benchmark, run)
+    emit("ablation_issue_width", lines)
+    saved = [float(l.split()[3]) for l in lines[1:]]
+    assert saved[0] > 0  # customization helps the single-issue baseline

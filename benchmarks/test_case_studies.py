@@ -1,0 +1,86 @@
+"""Extension case-study benches beyond the thesis's own evaluation.
+
+* SDR mode switching — the thesis's Section 2.1 motivating scenario
+  ("runtime selection of encryption standard"): static vs reconfigurable
+  fabric across mode dwell lengths and reconfiguration costs;
+* program-derived JPEG-like pipeline — the full Figure 6.3 flow from a
+  program model through hot-loop extraction to fabric partitioning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import emit, once
+from repro.reconfig import (
+    extract_hot_loops,
+    greedy_partition,
+    iterative_partition,
+    spatial_select,
+)
+from repro.workloads import SDR_MAX_AREA, sdr_loops, sdr_trace, synth_pipeline_program
+
+
+def test_sdr_mode_switching(benchmark):
+    """Static vs reconfigurable design across mode dwell lengths."""
+
+    def run():
+        lines = ["dwell_frames  rho   static  reconfig  configs  advantage"]
+        for dwell in (5, 20, 80, 320):
+            for rho in (20.0, 100.0, 500.0):
+                loops = sdr_loops(frames_per_dwell=dwell)
+                trace = sdr_trace(frames_per_dwell=dwell)
+                _sel, static = spatial_select(loops, SDR_MAX_AREA)
+                it = iterative_partition(loops, trace, SDR_MAX_AREA, rho)
+                lines.append(
+                    f"{dwell:12d}  {rho:4.0f}  {static:6.0f}  {it.gain:8.0f}"
+                    f"  {it.n_configurations:7d}  {it.gain / static:9.2f}"
+                )
+        return lines
+
+    lines = once(benchmark, run)
+    emit("case_study_sdr_mode_switching", lines)
+    # Shape: advantage grows with dwell length at fixed rho; at very short
+    # dwells the partitioner falls back to the static design (ratio 1.0).
+    for rho in ("20", "100", "500"):
+        series = [
+            float(l.split()[5]) for l in lines[1:] if l.split()[1] == rho
+        ]
+        assert series == sorted(series)
+        assert series[-1] >= 1.0
+    long_dwell_cheap = [
+        float(l.split()[5])
+        for l in lines[1:]
+        if l.split()[0] == "320" and l.split()[1] == "20"
+    ][0]
+    assert long_dwell_cheap > 1.5
+
+
+def test_pipeline_extraction_flow(benchmark):
+    """Program model -> hot loops -> partitioned fabric (Figure 6.3)."""
+
+    def run():
+        program = synth_pipeline_program("videoapp", n_kernels=6, frames=24)
+        extracted = extract_hot_loops(program)
+        loops, trace = list(extracted.loops), list(extracted.trace)
+        max_area = 0.4 * sum(max(v.area for v in lp.versions) for lp in loops)
+        lines = [
+            f"hot loops: {len(loops)}  coverage: {extracted.coverage:.2f}  "
+            f"trace: {len(trace)}  fabric: {max_area:.0f}",
+            "rho     static  greedy  iterative  configs",
+        ]
+        _sel, static = spatial_select(loops, max_area)
+        for rho in (0.0, 2000.0, 20000.0):
+            gr = greedy_partition(loops, trace, max_area, rho)
+            it = iterative_partition(loops, trace, max_area, rho)
+            lines.append(
+                f"{rho:6.0f}  {static:6.0f}  {gr.gain:6.0f}  {it.gain:9.0f}"
+                f"  {it.n_configurations:7d}"
+            )
+        return lines
+
+    lines = once(benchmark, run)
+    emit("case_study_pipeline_extraction", lines)
+    # Shape: with free reconfiguration the pipeline beats static clearly.
+    free = lines[2].split()
+    assert float(free[3]) > float(free[1])

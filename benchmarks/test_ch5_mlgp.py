@@ -1,0 +1,204 @@
+"""Chapter 5 benches: Tables 5.1/5.2 and Figures 5.3-5.6.
+
+* Table 5.1 — benchmark characteristics (WCET cycles, max/avg BB size);
+* Table 5.2 — the five task sets of the iterative-customization study;
+* Figure 5.3 — utilization vs. iteration count for all task sets and input
+  utilizations U in {1.1 .. 1.5};
+* Figure 5.4 — (a) analysis time and (b) hardware area vs. input utilization;
+* Figure 5.5 — speedup vs. analysis time, MLGP vs. the IS baseline;
+* Figure 5.6 — speedup vs. hardware area trade-off, MLGP vs. IS.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.common import emit, once
+from repro.mlgp import (
+    iterative_customization,
+    iterative_selection,
+    mlgp_program_profile,
+)
+from repro.workloads import CH5_TASK_SETS, get_program, programs_for
+
+INPUT_UTILIZATIONS = (1.1, 1.2, 1.3, 1.4, 1.5)
+
+#: Benchmarks compared in Figures 5.5/5.6 (thesis uses these six).
+PROFILE_BENCHMARKS = ("g721decode", "jfdctint", "blowfish", "md5", "sha", "3des")
+
+#: Wall-clock cap per IS run (IS on large blocks runs for hours otherwise).
+IS_TIME_BUDGET = 10.0
+
+_iterative_runs: dict[tuple[int, float], object] = {}
+_profile_cache: dict[str, tuple] = {}
+
+
+def _profiles(name: str):
+    """(MLGP profile steps, IS step/speedup/area rows), memoized per
+    benchmark so Figures 5.5 and 5.6 share one computation."""
+    if name not in _profile_cache:
+        program = get_program(name)
+        mlgp_steps = mlgp_program_profile(program)
+        freq = program.profile()
+        blocks = program.basic_blocks
+        hot = max(
+            range(len(blocks)),
+            key=lambda i: freq.get(i, 0.0) * blocks[i].dfg.sw_cycles(),
+        )
+        sw_total = sum(
+            freq.get(i, 0.0) * blocks[i].dfg.sw_cycles()
+            for i in range(len(blocks))
+        )
+        saved, area = 0.0, 0.0
+        is_rows = []
+        for s_ in iterative_selection(blocks[hot].dfg, time_budget=IS_TIME_BUDGET):
+            saved += s_.gain * freq.get(hot, 0.0)
+            area += s_.area
+            speedup = sw_total / max(1.0, sw_total - saved)
+            is_rows.append((s_.elapsed, speedup, area))
+        _profile_cache[name] = (mlgp_steps, is_rows)
+    return _profile_cache[name]
+
+
+def _run_iterative(ts_id: int, u_in: float):
+    """Run (and memoize) Algorithm 4 for one task set and input utilization."""
+    key = (ts_id, u_in)
+    if key not in _iterative_runs:
+        programs = programs_for(CH5_TASK_SETS[ts_id])
+        wcets = [p.wcet() for p in programs]
+        periods = [w * len(programs) / u_in for w in wcets]
+        start = time.perf_counter()
+        result = iterative_customization(programs, periods, u_target=1.0)
+        elapsed = time.perf_counter() - start
+        _iterative_runs[key] = (result, elapsed)
+    return _iterative_runs[key]
+
+
+def test_table_5_1(benchmark):
+    def run():
+        lines = ["benchmark     wcet_cycles    max_bb  avg_bb"]
+        for name in (
+            "adpcm",
+            "sha",
+            "jfdctint",
+            "g721decode",
+            "lms",
+            "ndes",
+            "rijndael",
+            "3des",
+            "aes",
+            "blowfish",
+        ):
+            p = get_program(name)
+            mx, avg = p.block_stats()
+            lines.append(f"{name:12s} {p.wcet():13.0f}  {mx:6d}  {avg:6.1f}")
+        return lines
+
+    lines = once(benchmark, run)
+    emit("table_5_1_benchmarks", lines)
+
+
+def test_table_5_2(benchmark):
+    def run():
+        return [
+            f"{k} | {', '.join(names)}" for k, names in sorted(CH5_TASK_SETS.items())
+        ]
+
+    rows = once(benchmark, run)
+    emit("table_5_2_task_sets", ["Task set | Benchmarks", *rows])
+
+
+def test_figure_5_3(benchmark):
+    """Utilization trajectory across iterations (Algorithm 4)."""
+
+    def run():
+        lines = ["set  U_in   iteration_utilizations"]
+        for ts_id in sorted(CH5_TASK_SETS):
+            for u_in in INPUT_UTILIZATIONS:
+                result, _ = _run_iterative(ts_id, u_in)
+                traj = " ".join(f"{r.utilization:5.3f}" for r in result.records)
+                lines.append(f"ts{ts_id}  {u_in:4.2f}  {traj}")
+        return lines
+
+    lines = once(benchmark, run)
+    emit("figure_5_3_utilization_vs_iterations", lines)
+    # Shape: trajectories are non-increasing and most reach U <= 1.
+    reached = 0
+    for line in lines[1:]:
+        vals = [float(v) for v in line.split()[2:]]
+        assert vals == sorted(vals, reverse=True)
+        if vals and vals[-1] <= 1.0 + 1e-9:
+            reached += 1
+    assert reached >= len(lines[1:]) // 2
+
+
+def test_figure_5_4(benchmark):
+    """Analysis time and hardware area vs. input utilization."""
+
+    def run():
+        lines = ["set  U_in   analysis_s  hw_area_adders  met_target"]
+        for ts_id in sorted(CH5_TASK_SETS):
+            for u_in in INPUT_UTILIZATIONS:
+                result, elapsed = _run_iterative(ts_id, u_in)
+                lines.append(
+                    f"ts{ts_id}  {u_in:4.2f}  {elapsed:10.2f}  "
+                    f"{result.total_area:14.1f}  {result.met_target}"
+                )
+        return lines
+
+    lines = once(benchmark, run)
+    emit("figure_5_4_time_and_area", lines)
+    # Shape: hardware area grows with input utilization per task set.
+    for ts_id in sorted(CH5_TASK_SETS):
+        areas = [
+            float(l.split()[3])
+            for l in lines[1:]
+            if l.startswith(f"ts{ts_id} ")
+        ]
+        assert areas[0] <= areas[-1] + 1e-9
+
+
+def test_figure_5_5(benchmark):
+    """Speedup vs. analysis time: MLGP against the IS baseline."""
+
+    def run():
+        lines = ["benchmark    method  elapsed_s  speedup"]
+        for name in PROFILE_BENCHMARKS:
+            steps, is_rows = _profiles(name)
+            for s in steps[:: max(1, len(steps) // 8)]:
+                lines.append(
+                    f"{name:12s} MLGP  {s.elapsed:9.2f}  {s.speedup:7.3f}"
+                )
+            if steps:
+                lines.append(
+                    f"{name:12s} MLGP  {steps[-1].elapsed:9.2f}  {steps[-1].speedup:7.3f}"
+                )
+            for elapsed, speedup, _area in is_rows:
+                lines.append(f"{name:12s} IS    {elapsed:9.2f}  {speedup:7.3f}")
+            if not is_rows:
+                lines.append(f"{name:12s} IS    (no instruction within budget)")
+        return lines
+
+    lines = once(benchmark, run)
+    emit("figure_5_5_speedup_vs_time", lines)
+
+
+def test_figure_5_6(benchmark):
+    """Speedup vs. hardware area trade-off, MLGP vs. IS."""
+
+    def run():
+        lines = ["benchmark    method  area_adders  speedup"]
+        for name in PROFILE_BENCHMARKS:
+            steps, is_rows = _profiles(name)
+            for s in steps:
+                lines.append(
+                    f"{name:12s} MLGP  {s.area:11.1f}  {s.speedup:7.3f}"
+                )
+            for _elapsed, speedup, area in is_rows:
+                lines.append(f"{name:12s} IS    {area:11.1f}  {speedup:7.3f}")
+        return lines
+
+    lines = once(benchmark, run)
+    emit("figure_5_6_speedup_vs_area", lines)

@@ -1,0 +1,107 @@
+"""Chapter 7 benches: Tables 7.1/7.2 and Figure 7.4.
+
+* Table 7.1 — CIS versions of the periodic tasks (derived from benchmark
+  configuration curves through the full pipeline);
+* Figure 7.4 — effective utilization of DP vs. Optimal (ILP) vs. Static
+  across fabric areas;
+* Table 7.2 — running time of Optimal (ILP) vs. the pseudo-polynomial DP
+  as the task count grows.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.common import emit, once
+from repro.mtreconfig import (
+    dp_solution,
+    ilp_solution,
+    static_solution,
+    synthetic_reconfig_tasks,
+    tasks_from_benchmarks,
+)
+
+BENCHMARK_TASKS = ("crc32", "lms", "ndes", "adpcm")
+TASK_COUNTS = (4, 6, 8, 10, 12, 16)
+
+
+def _benchmark_tasks():
+    return tasks_from_benchmarks(BENCHMARK_TASKS, target_utilization=1.2)
+
+
+def test_table_7_1(benchmark):
+    """CIS versions of the tasks (areas in adders, cycles per job)."""
+
+    def run():
+        tasks = _benchmark_tasks()
+        lines = ["task        version  area_adders      cycles      period"]
+        for t in tasks:
+            for j, v in enumerate(t.versions):
+                lines.append(
+                    f"{t.name:10s}  {j:7d}  {v.area:11.1f}  {v.cycles:10.0f}"
+                    f"  {t.period:10.0f}"
+                )
+        return lines
+
+    lines = once(benchmark, run)
+    emit("table_7_1_cis_versions", lines)
+
+
+def test_figure_7_4(benchmark):
+    """Utilization of DP / Optimal / Static across fabric areas."""
+
+    def run():
+        tasks = _benchmark_tasks()
+        max_needed = sum(max(v.area for v in t.versions) for t in tasks)
+        rho = 0.002 * min(t.period for t in tasks)
+        lines = ["area_frac  static_U  dp_U    optimal_U"]
+        for frac in (0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0):
+            area = max_needed * frac
+            st_u = static_solution(tasks, area).utilization
+            dp_u = dp_solution(tasks, area, rho).solution.utilization
+            il_u = ilp_solution(tasks, area, rho).solution.utilization
+            lines.append(
+                f"{frac:9.2f}  {st_u:8.4f}  {dp_u:6.4f}  {il_u:9.4f}"
+            )
+        return lines
+
+    lines = once(benchmark, run)
+    emit("figure_7_4_dp_optimal_static", lines)
+    # Shape: DP tracks Optimal closely and never loses to Static.
+    for line in lines[1:]:
+        _f, st_u, dp_u, il_u = (float(x) for x in line.split())
+        assert dp_u <= st_u + 1e-6
+        assert abs(dp_u - il_u) <= 0.02 * il_u + 1e-9
+    # At small areas reconfiguration wins visibly.
+    first = lines[1].split()
+    assert float(first[2]) < float(first[1]) + 1e-9
+
+
+def test_table_7_2(benchmark):
+    """Running time of Optimal (ILP) vs. the DP as task count grows."""
+
+    def run():
+        lines = ["n_tasks  dp_s      optimal_s  dp_U     optimal_U"]
+        for n in TASK_COUNTS:
+            tasks = synthetic_reconfig_tasks(n, seed=n, target_utilization=1.2)
+            fabric = 0.3 * sum(max(v.area for v in t.versions) for t in tasks)
+            rho = 0.002 * min(t.period for t in tasks)
+            dp = dp_solution(tasks, fabric, rho, max_steps=4000)
+            il = ilp_solution(tasks, fabric, rho)
+            lines.append(
+                f"{n:7d}  {dp.elapsed:8.4f}  {il.elapsed:9.4f}  "
+                f"{dp.solution.utilization:7.4f}  {il.solution.utilization:9.4f}"
+            )
+        return lines
+
+    lines = once(benchmark, run)
+    emit("table_7_2_running_times", lines)
+    # Shape: the DP is faster than the ILP in aggregate, at matching quality.
+    dp_total = sum(float(l.split()[1]) for l in lines[1:])
+    il_total = sum(float(l.split()[2]) for l in lines[1:])
+    assert dp_total < il_total
+    for line in lines[1:]:
+        parts = line.split()
+        assert abs(float(parts[3]) - float(parts[4])) <= 0.02 * float(parts[4]) + 1e-9

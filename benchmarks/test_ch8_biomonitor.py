@@ -1,0 +1,64 @@
+"""Chapter 8 bench: Figure 8.4 — bio-monitoring customization speedups.
+
+Runs the full customization pipeline (candidate enumeration, selection,
+configuration curve) on every wearable bio-monitoring kernel and reports
+the achievable speedup and the hardware area it costs, plus a combined
+multi-tasking schedulability study (the two applications share one
+customized processor).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import emit, once
+from repro.core import build_task, customize
+from repro.enumeration import build_candidate_library
+from repro.rtsched import scale_periods_for_utilization
+from repro.selection import build_configuration_curve
+from repro.workloads import BIOMONITOR_KERNELS, biomonitor_program
+
+
+def test_figure_8_4(benchmark):
+    """Speedup with customization for each bio-monitoring kernel."""
+
+    def run():
+        lines = ["kernel        sw_cycles  hw_cycles  speedup  area_adders"]
+        for name in BIOMONITOR_KERNELS:
+            program = biomonitor_program(name)
+            library = build_candidate_library(program)
+            curve = build_configuration_curve(program, library.candidates)
+            sw = curve[0].cycles
+            hw = curve[-1].cycles
+            lines.append(
+                f"{name:12s}  {sw:9.0f}  {hw:9.0f}  {sw / hw:7.2f}"
+                f"  {curve[-1].area:11.1f}"
+            )
+        return lines
+
+    lines = once(benchmark, run)
+    emit("figure_8_4_biomonitor_speedup", lines)
+    speedups = [float(l.split()[3]) for l in lines[1:]]
+    assert all(s >= 1.0 for s in speedups)
+    assert max(speedups) > 1.3  # customization pays off on these kernels
+
+
+def test_biomonitor_taskset_schedulability(benchmark):
+    """Both applications on one customized processor: utilization study."""
+
+    def run():
+        tasks = [build_task(biomonitor_program(n)) for n in BIOMONITOR_KERNELS]
+        ts = scale_periods_for_utilization(tasks, 1.15, name="biomonitor")
+        lines = ["area_frac  U_edf    schedulable"]
+        max_area = ts.max_area
+        for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+            res = customize(ts, max_area * frac, policy="edf")
+            lines.append(
+                f"{frac:9.2f}  {res.utilization_after:7.4f}  {res.schedulable}"
+            )
+        return lines
+
+    lines = once(benchmark, run)
+    emit("figure_8_4b_biomonitor_taskset", lines)
+    # The software-only set (U = 1.15) must become schedulable with CIs.
+    assert lines[-1].endswith("True")

@@ -1,0 +1,53 @@
+"""Chapter 8 walkthrough: customizing a wearable bio-monitoring platform.
+
+Two applications share one low-power processor: continuous vital-sign
+monitoring (ECG/PPG filtering, peak detection, pulse-transit-time blood-
+pressure estimation) and fall detection.  All kernels are fixed-point.
+The example customizes each kernel, then schedules the full application mix
+on one processor and shows how custom instructions reclaim headroom.
+
+Run:  python examples/biomonitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import build_task, customize
+from repro.enumeration import build_candidate_library
+from repro.rtsched import scale_periods_for_utilization
+from repro.selection import build_configuration_curve
+from repro.workloads import BIOMONITOR_KERNELS, biomonitor_program
+
+
+def main() -> None:
+    print("== per-kernel customization ==")
+    print(f"{'kernel':14} {'sw cycles':>10} {'best cycles':>12} {'speedup':>8} {'area':>7}")
+    tasks = []
+    for name in BIOMONITOR_KERNELS:
+        program = biomonitor_program(name)
+        library = build_candidate_library(program)
+        curve = build_configuration_curve(program, library.candidates)
+        sw, hw = curve[0].cycles, curve[-1].cycles
+        print(
+            f"{name:14} {sw:10.0f} {hw:12.0f} {sw / hw:8.2f} {curve[-1].area:7.1f}"
+        )
+        tasks.append(build_task(program))
+
+    print("\n== multi-tasking schedulability on one processor ==")
+    task_set = scale_periods_for_utilization(tasks, 1.15, name="biomonitor")
+    print(f"software-only utilization: {task_set.utilization:.3f} (over-committed)")
+    for frac in (0.25, 0.5, 1.0):
+        res = customize(task_set, task_set.max_area * frac, policy="edf")
+        print(
+            f"  CFU area {frac * 100:3.0f}%: U = {res.utilization_after:.3f}"
+            f"  schedulable={res.schedulable}"
+            f"  (area used {res.area:.0f} adders)"
+        )
+    print(
+        "\nCustomization turns an infeasible sensing workload into a\n"
+        "schedulable one — the headroom can host extra processing or be\n"
+        "traded for battery life via voltage scaling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Chapter 5 walkthrough: top-down iterative custom-instruction generation.
+
+Instead of enumerating candidates for every task up front (bottom-up), the
+iterative flow zooms into the bottleneck task, the critical basic blocks on
+its WCET path, and the heaviest regions inside them — generating custom
+instructions with MLGP only where they move the system-level needle.
+
+Run:  python examples/iterative_codesign.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import CH5_TASK_SETS, iterative_customization, programs_for
+
+
+def main() -> None:
+    names = CH5_TASK_SETS[2]
+    print(f"task set: {', '.join(names)}")
+    programs = programs_for(names)
+    wcets = [p.wcet() for p in programs]
+
+    u_in = 1.3  # over-committed: unschedulable in software
+    periods = [w * len(programs) / u_in for w in wcets]
+    print(f"software utilization: {u_in:.2f} -> target 1.00\n")
+
+    t0 = time.perf_counter()
+    result = iterative_customization(programs, periods, u_target=1.0)
+    elapsed = time.perf_counter() - t0
+
+    print("iteration  bottleneck task  utilization  new CIs")
+    for rec in result.records:
+        print(
+            f"{rec.iteration:9d}  {rec.task:15s}  {rec.utilization:11.3f}"
+            f"  {rec.new_cis:7d}"
+        )
+    print(
+        f"\nfinal utilization {result.utilization:.3f} "
+        f"({'target met' if result.met_target else 'target NOT met'}) "
+        f"in {elapsed:.1f}s"
+    )
+    print(
+        f"custom instructions committed: {len(result.custom_instructions)}, "
+        f"hardware area (isomorphism-shared): {result.total_area:.0f} adders"
+    )
+    by_task: dict[str, int] = {}
+    for ci in result.custom_instructions:
+        by_task[ci.task] = by_task.get(ci.task, 0) + 1
+    print("per-task CI counts:", dict(sorted(by_task.items())))
+    print(
+        "\nNote how only the bottleneck tasks were customized at all — the\n"
+        "point of the top-down flow: no candidate enumeration is wasted on\n"
+        "tasks that never constrain schedulability."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Chapter 6 walkthrough: runtime reconfiguration for a JPEG encoder.
+
+The JPEG pipeline's hot loops need more custom-instruction area than the
+fabric offers in a single configuration.  This example partitions the CIS
+versions spatially and temporally (thesis Algorithm 6), comparing against
+the greedy heuristic, the optimal exhaustive search and a static (single
+configuration) design across reconfiguration costs.
+
+Run:  python examples/jpeg_reconfiguration.py
+"""
+
+from __future__ import annotations
+
+from repro import exhaustive_partition, greedy_partition, iterative_partition
+from repro.reconfig import spatial_select
+from repro.workloads import JPEG_MAX_AREA, JPEG_RHO, jpeg_loops, jpeg_trace
+
+
+def describe(loops, solution) -> str:
+    parts: dict[int, list[str]] = {}
+    for i, j in enumerate(solution.partition.selection):
+        if j == 0:
+            continue
+        parts.setdefault(solution.partition.config_of[i], []).append(
+            f"{loops[i].name}(v{j})"
+        )
+    return " | ".join(", ".join(v) for v in parts.values()) or "(all software)"
+
+
+def main() -> None:
+    loops, trace = jpeg_loops(), jpeg_trace()
+    total_best = sum(lp.versions[lp.best_version].area for lp in loops)
+    print(
+        f"JPEG hot loops: {len(loops)}; best-version area {total_best:.0f} AU "
+        f"vs fabric {JPEG_MAX_AREA:.0f} AU -> reconfiguration needed\n"
+    )
+
+    _sel, static_gain = spatial_select(loops, JPEG_MAX_AREA)
+    print(f"static single configuration: gain {static_gain:.0f} Kcycles\n")
+
+    print(f"{'rho(K)':>7} {'greedy':>8} {'iterative':>10} {'optimal':>8}  configurations (iterative)")
+    for rho in (0.0, 5.0, JPEG_RHO, 30.0, 60.0):
+        gr = greedy_partition(loops, trace, JPEG_MAX_AREA, rho)
+        it = iterative_partition(loops, trace, JPEG_MAX_AREA, rho)
+        ex = exhaustive_partition(loops, trace, JPEG_MAX_AREA, rho, time_budget=60)
+        print(
+            f"{rho:7.0f} {gr.gain:8.0f} {it.gain:10.0f} {ex.gain:8.0f}"
+            f"  k={it.n_configurations}: {describe(loops, it)}"
+        )
+
+    print(
+        "\nAt low reconfiguration cost the fabric is time-multiplexed across\n"
+        "several configurations (gain well above the static bound); as the\n"
+        "cost rises the partitioner collapses back to a single configuration."
+    )
+
+
+if __name__ == "__main__":
+    main()

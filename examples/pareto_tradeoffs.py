@@ -1,0 +1,86 @@
+"""Chapter 4 walkthrough: exact vs ε-approximate Pareto trade-offs.
+
+Shows both stages of the approximation scheme: the intra-task workload-area
+curve of a single benchmark, then the inter-task utilization-area curve of
+a whole task set, with the ε-approximation guarantee checked against the
+exact curves.
+
+Run:  python examples/pareto_tradeoffs.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    CIOption,
+    TaskCurve,
+    approx_utilization_curve,
+    approx_workload_curve,
+    build_task,
+    exact_utilization_curve,
+    exact_workload_curve,
+    get_program,
+    programs_for,
+)
+from repro.enumeration import build_candidate_library
+from repro.pareto import is_eps_cover
+from repro.selection import select_greedy
+
+
+def intra_stage() -> None:
+    print("== intra-task stage: workload-area curve of g721decode ==")
+    program = get_program("g721decode")
+    library = build_candidate_library(program)
+    chosen = select_greedy(library.candidates, float("inf"))[:40]
+    options = [
+        CIOption(
+            delta=library.candidates[i].total_gain,
+            area=max(1, round(library.candidates[i].area * 50)),  # gate units
+        )
+        for i in chosen
+    ]
+    base = program.avg_cycles()
+
+    t0 = time.perf_counter()
+    exact = exact_workload_curve(base, options)
+    t_exact = time.perf_counter() - t0
+    for eps in (0.69, 3.0):
+        t0 = time.perf_counter()
+        approx = approx_workload_curve(base, options, eps)
+        t_approx = time.perf_counter() - t0
+        print(
+            f"eps={eps:4.2f}: {len(approx):3d} points vs {len(exact)} exact "
+            f"({t_exact / max(t_approx, 1e-9):5.1f}x faster), "
+            f"eps-cover={is_eps_cover(approx, exact, eps)}"
+        )
+
+
+def inter_stage() -> None:
+    print("\n== inter-task stage: utilization-area curve of a task set ==")
+    programs = programs_for(("crc32", "lms", "ndes"))
+    tasks = [build_task(p, max_configs=10) for p in programs]
+    curves = [
+        TaskCurve(
+            period=t.period,
+            workloads=tuple(c.cycles for c in t.configurations),
+            areas=tuple(round(c.area * 50) for c in t.configurations),
+        )
+        for t in tasks
+    ]
+    exact = exact_utilization_curve(curves)
+    approx = approx_utilization_curve(curves, eps=0.69)
+    print(f"exact curve: {len(exact)} points; eps=0.69 curve: {len(approx)} points")
+    print(f"eps-cover holds: {is_eps_cover(approx, exact, 0.69)}\n")
+    print(f"{'area(gates)':>12} {'utilization':>12}  configuration")
+    for p in approx:
+        print(f"{p.cost:12.0f} {p.value:12.4f}  {p.choice}")
+
+
+def main() -> None:
+    intra_stage()
+    inter_stage()
+
+
+if __name__ == "__main__":
+    main()

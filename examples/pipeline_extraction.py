@@ -1,0 +1,65 @@
+"""Extension walkthrough: the full Chapter 6 flow from source model to fabric.
+
+Starts from a multi-kernel streaming *program* (not hand-written loop
+tables): hot loops are detected from the profile, CIS version curves are
+generated per loop by candidate enumeration + selection, the loop trace is
+derived from the syntax tree, and the iterative partitioner then decides
+which versions share which fabric configuration — the complete design flow
+of thesis Figure 6.3.
+
+Run:  python examples/pipeline_extraction.py
+"""
+
+from __future__ import annotations
+
+from repro.reconfig import (
+    extract_hot_loops,
+    greedy_partition,
+    iterative_partition,
+    spatial_select,
+)
+from repro.report import format_table, sparkline
+from repro.workloads import synth_pipeline_program
+
+
+def main() -> None:
+    program = synth_pipeline_program("videoapp", n_kernels=6, frames=24)
+    print(f"program {program.name}: {len(program.basic_blocks)} blocks, "
+          f"avg cycles {program.avg_cycles():.0f}")
+
+    extracted = extract_hot_loops(program)
+    loops, trace = list(extracted.loops), list(extracted.trace)
+    print(f"hot loops: {len(loops)} (coverage {extracted.coverage:.0%}); "
+          f"trace length {len(trace)}\n")
+
+    rows = []
+    for lp in loops:
+        areas = [v.area for v in lp.versions]
+        gains = [v.gain for v in lp.versions]
+        rows.append(
+            (lp.name, len(lp.versions), f"{max(areas):.0f}",
+             f"{max(gains):.0f}", sparkline(gains))
+        )
+    print(format_table(
+        ["loop", "versions", "max area", "max gain", "gain curve"], rows
+    ))
+
+    max_area = 0.4 * sum(max(v.area for v in lp.versions) for lp in loops)
+    print(f"\nfabric: one configuration = {max_area:.0f} adders")
+    _sel, static_gain = spatial_select(loops, max_area)
+    rows = [("static (no reconfig)", f"{static_gain:.0f}", 1)]
+    for rho in (0.0, 2000.0, 20000.0):
+        it = iterative_partition(loops, trace, max_area, rho)
+        gr = greedy_partition(loops, trace, max_area, rho)
+        rows.append((f"iterative rho={rho:.0f}", f"{it.gain:.0f}", it.n_configurations))
+        rows.append((f"greedy    rho={rho:.0f}", f"{gr.gain:.0f}", gr.n_configurations))
+    print(format_table(["solution", "net gain", "configs"], rows))
+    print(
+        "\nCheap reconfiguration lets the pipeline time-multiplex the fabric\n"
+        "per stage (several configurations); as the cost rises the optimum\n"
+        "collapses back to the single best static configuration."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: customize a processor for a real-time task set.
+
+Builds a small multi-tasking workload, derives each task's custom-
+instruction configuration curve, and selects configurations so the task set
+meets all deadlines under EDF with minimum utilization — the core flow of
+the DATE 2007 paper.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import build_task_set, customize, programs_for, simulate_taskset
+
+
+def main() -> None:
+    # 1. Pick a workload: two embedded kernels sharing one processor.
+    programs = programs_for(("crc32", "ndes"))
+
+    # 2. Build the task set.  Periods are scaled so the *software-only*
+    #    utilization is 1.10 — the set misses deadlines without help.
+    task_set = build_task_set(programs, target_utilization=1.10, name="demo")
+    print(f"software-only utilization: {task_set.utilization:.3f} (unschedulable)")
+
+    # 3. Ask the DATE 2007 selection algorithm for the best configuration
+    #    of custom instructions under a CFU area budget.
+    budget = 0.5 * task_set.max_area
+    result = customize(task_set, budget, policy="edf")
+    print(f"area budget              : {budget:.1f} adders")
+    print(f"chosen configurations    : {result.assignment}")
+    print(f"utilization after        : {result.utilization_after:.3f}")
+    print(f"schedulable              : {result.schedulable}")
+    print(f"utilization reduction    : {result.utilization_reduction_pct:.1f}%")
+
+    # 4. Independently validate with the discrete-event EDF simulator.
+    import math
+
+    tasks = task_set.tasks
+    from repro.rtsched import simulate
+
+    sim = simulate(
+        [math.floor(t.period) for t in tasks],
+        [
+            math.ceil(t.configurations[j].cycles)
+            for t, j in zip(tasks, result.assignment)
+        ],
+        policy="edf",
+        horizon=20.0 * max(t.period for t in tasks),
+    )
+    print(f"simulation confirms      : {sim.schedulable} "
+          f"(observed utilization {sim.observed_utilization:.3f})")
+
+
+if __name__ == "__main__":
+    main()

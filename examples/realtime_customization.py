@@ -1,0 +1,55 @@
+"""Chapter 3 walkthrough: EDF vs RMS customization and energy savings.
+
+Reproduces the DATE 2007 study on one task set: sweeps the CFU area budget,
+selects optimal custom-instruction configurations under both scheduling
+policies, and estimates the energy saved by pairing customization with
+TM5400-style static voltage scaling.
+
+Run:  python examples/realtime_customization.py
+"""
+
+from __future__ import annotations
+
+from repro import CH3_TASK_SETS, build_task_set, customize, programs_for
+from repro.rtsched import energy_improvement
+
+
+def main() -> None:
+    names = CH3_TASK_SETS[3]
+    print(f"task set 3: {', '.join(names)}\n")
+    programs = programs_for(names)
+    task_set = build_task_set(programs, target_utilization=1.05, name="ts3")
+    max_area = task_set.max_area
+    print(f"software-only utilization: {task_set.utilization:.3f}")
+    print(f"max useful CFU area      : {max_area:.0f} adders\n")
+
+    header = f"{'area%':>6} {'EDF U':>7} {'RMS U':>7} {'EDF energy%':>12} {'RMS energy%':>12}"
+    print(header)
+    print("-" * len(header))
+    for pct in (10, 25, 50, 75, 100):
+        budget = max_area * pct / 100
+        edf = customize(task_set, budget, policy="edf")
+        rms = customize(task_set, budget, policy="rms")
+
+        def fmt_u(res):
+            return f"{res.utilization_after:7.3f}" if res.assignment else "     --"
+
+        def fmt_e(res, policy):
+            if res.assignment is None:
+                return "          --"
+            imp = energy_improvement(task_set, None, list(res.assignment), policy)
+            return f"{imp:12.1f}" if imp is not None else "          --"
+
+        print(
+            f"{pct:5d}% {fmt_u(edf)} {fmt_u(rms)} {fmt_e(edf, 'edf')} {fmt_e(rms, 'rms')}"
+        )
+
+    print(
+        "\nCustom instructions lower the utilization enough to (a) make an\n"
+        "over-committed task set schedulable and (b) let voltage scaling\n"
+        "drop to a slower, lower-voltage operating point — the energy win."
+    )
+
+
+if __name__ == "__main__":
+    main()

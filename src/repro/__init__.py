@@ -1,0 +1,184 @@
+"""repro — instruction-set customization for multi-tasking real-time systems.
+
+A production-quality reproduction of *Instruction-Set Customization for
+Real-Time Embedded Systems* (Huynh & Mitra, DATE 2007) and the surrounding
+thesis system (Huynh, NUS 2009): custom-instruction identification and
+selection, EDF/RMS-aware inter-task customization, ε-approximate Pareto
+trade-off exploration, MLGP-based iterative generation, and runtime
+reconfiguration of custom instructions for single- and multi-tasking
+applications.
+
+Quickstart::
+
+    from repro import build_task_set, customize, CH3_TASK_SETS, programs_for
+
+    programs = programs_for(CH3_TASK_SETS[1])
+    task_set = build_task_set(programs, target_utilization=1.05)
+    result = customize(task_set, area_budget=500.0, policy="edf")
+    print(result.utilization_after, result.schedulable)
+"""
+
+from repro.core import (
+    CustomizationResult,
+    EdfSelection,
+    RmsSelection,
+    build_task,
+    build_task_set,
+    customize,
+    select_edf,
+    select_rms,
+)
+from repro.enumeration import (
+    Candidate,
+    CandidateLibrary,
+    build_candidate_library,
+    enumerate_connected,
+    enumerate_exhaustive,
+    maximal_misos,
+)
+from repro.errors import (
+    ConstraintError,
+    GraphError,
+    ReproError,
+    ScheduleError,
+    SolverError,
+    WorkloadError,
+)
+from repro.graphs import Block, DataFlowGraph, IfElse, Loop, Program, Seq
+from repro.isa import HardwareCostModel, Opcode
+from repro.mlgp import (
+    iterative_customization,
+    iterative_selection,
+    mlgp_partition,
+    mlgp_program_profile,
+)
+from repro.mtreconfig import (
+    ReconfigTask,
+    TaskVersion,
+    dp_solution,
+    ilp_solution,
+    static_solution,
+)
+from repro.pareto import (
+    CIOption,
+    ParetoPoint,
+    TaskCurve,
+    approx_utilization_curve,
+    approx_workload_curve,
+    exact_utilization_curve,
+    exact_workload_curve,
+)
+from repro.reconfig import (
+    CISVersion,
+    HotLoop,
+    exhaustive_partition,
+    greedy_partition,
+    iterative_partition,
+)
+from repro.rtsched import (
+    PeriodicTask,
+    TaskSet,
+    edf_schedulable,
+    rms_schedulable,
+    scale_periods_for_utilization,
+    simulate_taskset,
+)
+from repro.selection import (
+    build_configuration_curve,
+    select_branch_bound,
+    select_greedy,
+    select_ilp,
+    select_knapsack,
+)
+from repro.workloads import (
+    CH3_TASK_SETS,
+    CH4_TASK_SETS,
+    CH5_TASK_SETS,
+    benchmark_names,
+    get_program,
+    programs_for,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "CustomizationResult",
+    "EdfSelection",
+    "RmsSelection",
+    "build_task",
+    "build_task_set",
+    "customize",
+    "select_edf",
+    "select_rms",
+    # enumeration
+    "Candidate",
+    "CandidateLibrary",
+    "build_candidate_library",
+    "enumerate_connected",
+    "enumerate_exhaustive",
+    "maximal_misos",
+    # errors
+    "ConstraintError",
+    "GraphError",
+    "ReproError",
+    "ScheduleError",
+    "SolverError",
+    "WorkloadError",
+    # graphs
+    "Block",
+    "DataFlowGraph",
+    "IfElse",
+    "Loop",
+    "Program",
+    "Seq",
+    # isa
+    "HardwareCostModel",
+    "Opcode",
+    # mlgp
+    "iterative_customization",
+    "iterative_selection",
+    "mlgp_partition",
+    "mlgp_program_profile",
+    # mtreconfig
+    "ReconfigTask",
+    "TaskVersion",
+    "dp_solution",
+    "ilp_solution",
+    "static_solution",
+    # pareto
+    "CIOption",
+    "ParetoPoint",
+    "TaskCurve",
+    "approx_utilization_curve",
+    "approx_workload_curve",
+    "exact_utilization_curve",
+    "exact_workload_curve",
+    # reconfig
+    "CISVersion",
+    "HotLoop",
+    "exhaustive_partition",
+    "greedy_partition",
+    "iterative_partition",
+    # rtsched
+    "PeriodicTask",
+    "TaskSet",
+    "edf_schedulable",
+    "rms_schedulable",
+    "scale_periods_for_utilization",
+    "simulate_taskset",
+    # selection
+    "build_configuration_curve",
+    "select_branch_bound",
+    "select_greedy",
+    "select_ilp",
+    "select_knapsack",
+    # workloads
+    "CH3_TASK_SETS",
+    "CH4_TASK_SETS",
+    "CH5_TASK_SETS",
+    "benchmark_names",
+    "get_program",
+    "programs_for",
+]

@@ -1,0 +1,112 @@
+"""Design-space sensitivity analysis for customization results.
+
+Helpers a designer uses after the solvers: where does the next unit of
+silicon help most, which tasks dominate the utilization, and how close is
+each task to its best configuration.  Backs the CLI ``explain`` command and
+the examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.edf_select import select_edf
+from repro.errors import ScheduleError
+from repro.rtsched.task import TaskSet
+
+__all__ = [
+    "TaskBreakdown",
+    "utilization_breakdown",
+    "marginal_area_utility",
+    "area_sweep",
+]
+
+
+@dataclass(frozen=True)
+class TaskBreakdown:
+    """Per-task view of a customization assignment.
+
+    Attributes:
+        name: task name.
+        configuration: chosen configuration index.
+        utilization: the task's utilization under that configuration.
+        share: fraction of the total utilization.
+        area: area consumed by the task.
+        headroom: utilization still recoverable by moving to the task's
+            fastest configuration (ignoring area).
+    """
+
+    name: str
+    configuration: int
+    utilization: float
+    share: float
+    area: float
+    headroom: float
+
+
+def utilization_breakdown(
+    task_set: TaskSet, assignment: Sequence[int]
+) -> list[TaskBreakdown]:
+    """Explain an assignment task by task, sorted by utilization share."""
+    if len(assignment) != len(task_set):
+        raise ScheduleError("assignment length must match task count")
+    total = task_set.utilization_for(assignment)
+    rows: list[TaskBreakdown] = []
+    for task, j in zip(task_set, assignment):
+        u = task.config_utilization(j)
+        best = min(c.cycles for c in task.configurations) / task.period
+        rows.append(
+            TaskBreakdown(
+                name=task.name,
+                configuration=j,
+                utilization=u,
+                share=u / total if total > 0 else 0.0,
+                area=task.configurations[j].area,
+                headroom=max(0.0, u - best),
+            )
+        )
+    rows.sort(key=lambda r: -r.utilization)
+    return rows
+
+
+def marginal_area_utility(
+    task_set: TaskSet,
+    area_budget: float,
+    delta: float | None = None,
+) -> float:
+    """Utilization recovered per extra unit of area at *area_budget*.
+
+    Finite-difference estimate ``(U(A) - U(A + delta)) / delta`` using the
+    optimal EDF selection at both budgets.  Near zero once every task sits
+    at its fastest configuration.
+    """
+    if delta is None:
+        delta = max(1.0, 0.05 * max(area_budget, 1.0))
+    u_now = select_edf(task_set, area_budget).utilization
+    u_next = select_edf(task_set, area_budget + delta).utilization
+    return max(0.0, (u_now - u_next) / delta)
+
+
+def area_sweep(
+    task_set: TaskSet,
+    budgets: Sequence[float],
+    policy: str = "edf",
+) -> list[tuple[float, float]]:
+    """(budget, optimal utilization) pairs across *budgets*.
+
+    RMS points where no schedulable assignment exists report
+    ``float('inf')``.
+    """
+    from repro.core.rms_select import select_rms
+
+    out: list[tuple[float, float]] = []
+    for budget in budgets:
+        if policy == "edf":
+            out.append((budget, select_edf(task_set, budget).utilization))
+        elif policy == "rms":
+            sel = select_rms(task_set, budget)
+            out.append((budget, sel.utilization))
+        else:
+            raise ScheduleError(f"unknown policy {policy!r}; use 'edf' or 'rms'")
+    return out

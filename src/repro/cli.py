@@ -1,0 +1,261 @@
+"""Command-line interface for the repro toolkit.
+
+Subcommands mirror the library's main flows:
+
+* ``repro benchmarks`` — list the built-in synthetic benchmarks;
+* ``repro curve <benchmark>`` — build and print a task's configuration
+  curve (optionally save it as JSON);
+* ``repro customize <benchmarks...>`` — Chapter 3 inter-task selection for
+  a task set under EDF or RMS;
+* ``repro pareto <benchmarks...>`` — Chapter 4 ε-approximate
+  utilization-area Pareto curve;
+* ``repro reconfig <loops.json>`` — Chapter 6 partitioning of hot loops
+  (falls back to the JPEG case study without an input file).
+
+Run ``python -m repro --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro import io as repro_io
+from repro.report import format_curve, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Instruction-set customization for real-time embedded systems",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("benchmarks", help="list built-in synthetic benchmarks")
+
+    p_curve = sub.add_parser("curve", help="build a task's configuration curve")
+    p_curve.add_argument("benchmark")
+    p_curve.add_argument("--objective", choices=("avg", "wcet"), default="avg")
+    p_curve.add_argument("--output", help="save the task set as JSON")
+
+    p_cust = sub.add_parser("customize", help="inter-task selection (Ch. 3)")
+    p_cust.add_argument("benchmarks", nargs="+")
+    p_cust.add_argument("--utilization", type=float, default=1.05,
+                        help="software-only utilization target (default 1.05)")
+    p_cust.add_argument("--policy", choices=("edf", "rms"), default="edf")
+    p_cust.add_argument("--area", type=float, default=None,
+                        help="CFU area budget (default: half of MaxArea)")
+    p_cust.add_argument("--input", help="load the task set from JSON instead")
+
+    p_par = sub.add_parser("pareto", help="utilization-area Pareto curve (Ch. 4)")
+    p_par.add_argument("benchmarks", nargs="+")
+    p_par.add_argument("--eps", type=float, default=0.69)
+    p_par.add_argument("--utilization", type=float, default=1.0)
+
+    p_exp = sub.add_parser("explain", help="sensitivity analysis of a task set")
+    p_exp.add_argument("benchmarks", nargs="+")
+    p_exp.add_argument("--utilization", type=float, default=1.05)
+    p_exp.add_argument("--area", type=float, default=None)
+
+    p_val = sub.add_parser("validate", help="cross-model consistency checks")
+    p_val.add_argument("benchmarks", nargs="+")
+    p_val.add_argument("--utilization", type=float, default=1.05)
+
+    p_rec = sub.add_parser("reconfig", help="hot-loop partitioning (Ch. 6)")
+    p_rec.add_argument("--input", help="hot-loops JSON (default: JPEG case study)")
+    p_rec.add_argument("--max-area", type=float, default=None)
+    p_rec.add_argument("--rho", type=float, default=None)
+
+    return parser
+
+
+def _cmd_benchmarks() -> int:
+    from repro.workloads import BENCHMARKS
+
+    rows = []
+    for name, spec in sorted(BENCHMARKS.items()):
+        rows.append((name, spec.domain, spec.max_bb, spec.avg_bb, spec.wcet_cycles))
+    print(format_table(
+        ["benchmark", "domain", "max_bb", "avg_bb", "wcet_cycles"], rows
+    ))
+    return 0
+
+
+def _cmd_curve(args: argparse.Namespace) -> int:
+    from repro.core import build_task
+    from repro.rtsched.task import TaskSet
+    from repro.workloads import get_program
+
+    task = build_task(get_program(args.benchmark), objective=args.objective)
+    xs = [c.area for c in task.configurations]
+    ys = [c.cycles for c in task.configurations]
+    print(f"configuration curve for {args.benchmark} ({args.objective}):")
+    print(format_curve(xs, ys, "area(adders)", "cycles"))
+    if args.output:
+        repro_io.save_json(
+            repro_io.task_set_to_dict(TaskSet([task], name=args.benchmark)),
+            args.output,
+        )
+        print(f"saved to {args.output}")
+    return 0
+
+
+def _cmd_customize(args: argparse.Namespace) -> int:
+    from repro.core import build_task_set, customize
+    from repro.workloads import programs_for
+
+    if args.input:
+        task_set = repro_io.task_set_from_dict(repro_io.load_json(args.input))
+    else:
+        programs = programs_for(tuple(args.benchmarks))
+        task_set = build_task_set(programs, target_utilization=args.utilization)
+    budget = args.area if args.area is not None else 0.5 * task_set.max_area
+    result = customize(task_set, budget, policy=args.policy)
+    rows = [
+        ("policy", args.policy),
+        ("area budget", budget),
+        ("utilization before", result.utilization_before),
+        ("utilization after", result.utilization_after),
+        ("schedulable", result.schedulable),
+        ("area used", result.area),
+    ]
+    print(format_table(["metric", "value"], rows))
+    if result.assignment is not None:
+        for t, j in zip(task_set, result.assignment):
+            cfg = t.configurations[j]
+            print(f"  {t.name}: configuration {j} (area {cfg.area:.1f}, "
+                  f"cycles {cfg.cycles:.0f})")
+    return 0 if result.schedulable else 1
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from repro.core import build_task
+    from repro.pareto import TaskCurve, approx_utilization_curve
+    from repro.workloads import programs_for
+
+    programs = programs_for(tuple(args.benchmarks))
+    tasks = [build_task(p) for p in programs]
+    alpha = len(tasks) / args.utilization
+    curves = [
+        TaskCurve(
+            period=alpha * t.wcet,
+            workloads=tuple(c.cycles for c in t.configurations),
+            areas=tuple(round(c.area) for c in t.configurations),
+        )
+        for t in tasks
+    ]
+    front = approx_utilization_curve(curves, args.eps)
+    print(f"eps={args.eps} utilization-area Pareto curve "
+          f"({len(front)} points):")
+    print(format_curve(
+        [p.cost for p in front], [p.value for p in front],
+        "area(adders)", "utilization",
+    ))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.analysis import marginal_area_utility, utilization_breakdown
+    from repro.core import build_task_set, select_edf
+    from repro.workloads import programs_for
+
+    programs = programs_for(tuple(args.benchmarks))
+    task_set = build_task_set(programs, target_utilization=args.utilization)
+    budget = args.area if args.area is not None else 0.5 * task_set.max_area
+    sel = select_edf(task_set, budget)
+    rows = [
+        (
+            r.name,
+            r.configuration,
+            f"{r.utilization:.4f}",
+            f"{100 * r.share:.1f}%",
+            f"{r.area:.1f}",
+            f"{r.headroom:.4f}",
+        )
+        for r in utilization_breakdown(task_set, sel.assignment)
+    ]
+    print(f"budget {budget:.1f} adders -> U = {sel.utilization:.4f}")
+    print(format_table(
+        ["task", "cfg", "utilization", "share", "area", "headroom"], rows
+    ))
+    mu = marginal_area_utility(task_set, budget)
+    print(f"marginal utility at this budget: {mu:.6f} utilization per adder")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core import build_task_set
+    from repro.validation import validate_program_costs, validate_task_set
+    from repro.workloads import get_program, programs_for
+
+    programs = programs_for(tuple(args.benchmarks))
+    task_set = build_task_set(programs, target_utilization=args.utilization)
+    report = validate_task_set(task_set, 0.5 * task_set.max_area)
+    print(report.summary())
+    ok = report.passed
+    for name in args.benchmarks[:2]:
+        prog_report = validate_program_costs(get_program(name))
+        print(prog_report.summary())
+        ok = ok and prog_report.passed
+    return 0 if ok else 1
+
+
+def _cmd_reconfig(args: argparse.Namespace) -> int:
+    from repro.reconfig import greedy_partition, iterative_partition
+
+    if args.input:
+        loops, trace = repro_io.hot_loops_from_dict(repro_io.load_json(args.input))
+        if not trace:
+            print("error: the input file carries no loop trace", file=sys.stderr)
+            return 2
+        max_area = args.max_area if args.max_area is not None else 2048.0
+        rho = args.rho if args.rho is not None else 15.0
+    else:
+        from repro.workloads import JPEG_MAX_AREA, JPEG_RHO, jpeg_loops, jpeg_trace
+
+        loops, trace = jpeg_loops(), jpeg_trace()
+        max_area = args.max_area if args.max_area is not None else JPEG_MAX_AREA
+        rho = args.rho if args.rho is not None else JPEG_RHO
+    it = iterative_partition(loops, trace, max_area, rho)
+    gr = greedy_partition(loops, trace, max_area, rho)
+    print(format_table(
+        ["algorithm", "net gain", "configurations"],
+        [
+            ("iterative", it.gain, it.n_configurations),
+            ("greedy", gr.gain, gr.n_configurations),
+        ],
+    ))
+    for i, lp in enumerate(loops):
+        j = it.partition.selection[i]
+        where = (
+            f"config {it.partition.config_of[i]}" if j != 0 else "software"
+        )
+        print(f"  {lp.name}: version {j} -> {where}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "benchmarks":
+        return _cmd_benchmarks()
+    if args.command == "curve":
+        return _cmd_curve(args)
+    if args.command == "customize":
+        return _cmd_customize(args)
+    if args.command == "pareto":
+        return _cmd_pareto(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "reconfig":
+        return _cmd_reconfig(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Core contribution: custom-instruction selection for real-time task sets
+(thesis Chapter 3 / the DATE 2007 paper)."""
+
+from repro.core.edf_select import EdfSelection, select_edf
+from repro.core.flow import (
+    CustomizationResult,
+    build_task,
+    build_task_set,
+    customize,
+)
+from repro.core.mpsoc import MpsocResult, customize_mpsoc, partition_tasks_worst_fit
+from repro.core.rms_select import RmsSelection, select_rms
+
+__all__ = [
+    "MpsocResult",
+    "customize_mpsoc",
+    "partition_tasks_worst_fit",
+    "EdfSelection",
+    "select_edf",
+    "CustomizationResult",
+    "build_task",
+    "build_task_set",
+    "customize",
+    "RmsSelection",
+    "select_rms",
+]

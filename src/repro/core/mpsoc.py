@@ -1,0 +1,144 @@
+"""Customization for multiprocessor SoCs (extension of thesis Section 2.4).
+
+The thesis leaves MPSoC customization to related work [91, 53]; this module
+extends the Chapter 3 machinery to ``M`` identical processors sharing a
+global CFU-area budget:
+
+1. **task partitioning** — worst-fit decreasing by software utilization
+   (the classic partitioned-EDF heuristic);
+2. **per-processor curves** — for each processor, the Chapter 3 EDF DP
+   gives minimum utilization as a function of the local area budget;
+3. **budget allocation** — a min-max DP distributes the global area so the
+   *maximum* processor utilization is minimized (the schedulability
+   bottleneck under partitioned EDF).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.edf_select import select_edf
+from repro.errors import ScheduleError
+from repro.rtsched.task import PeriodicTask, TaskSet
+
+__all__ = ["MpsocResult", "partition_tasks_worst_fit", "customize_mpsoc"]
+
+
+@dataclass(frozen=True)
+class MpsocResult:
+    """Outcome of MPSoC customization.
+
+    Attributes:
+        processor_tasks: task names per processor.
+        budgets: area budget allocated to each processor.
+        utilizations: post-customization utilization per processor.
+        assignments: per-processor configuration assignment.
+    """
+
+    processor_tasks: tuple[tuple[str, ...], ...]
+    budgets: tuple[float, ...]
+    utilizations: tuple[float, ...]
+    assignments: tuple[tuple[int, ...], ...]
+
+    @property
+    def max_utilization(self) -> float:
+        return max(self.utilizations)
+
+    @property
+    def schedulable(self) -> bool:
+        return self.max_utilization <= 1.0 + 1e-9
+
+
+def partition_tasks_worst_fit(
+    tasks: Sequence[PeriodicTask], n_processors: int
+) -> list[list[PeriodicTask]]:
+    """Worst-fit decreasing partitioning by software utilization."""
+    if n_processors < 1:
+        raise ScheduleError("need at least one processor")
+    bins: list[list[PeriodicTask]] = [[] for _ in range(n_processors)]
+    loads = [0.0] * n_processors
+    for task in sorted(tasks, key=lambda t: -t.utilization):
+        target = min(range(n_processors), key=lambda i: loads[i])
+        bins[target].append(task)
+        loads[target] += task.utilization
+    return bins
+
+
+def customize_mpsoc(
+    tasks: Sequence[PeriodicTask],
+    n_processors: int,
+    total_area: float,
+    allocation_steps: int = 20,
+) -> MpsocResult:
+    """Customize a partitioned-EDF MPSoC under a global area budget.
+
+    Args:
+        tasks: tasks with configuration curves.
+        n_processors: number of identical processors.
+        total_area: global CFU-area budget shared across processors.
+        allocation_steps: granularity of the budget-allocation grid.
+
+    Returns:
+        An :class:`MpsocResult` with the min-max-utilization allocation.
+    """
+    if total_area < 0:
+        raise ScheduleError("total area must be non-negative")
+    bins = partition_tasks_worst_fit(tasks, n_processors)
+    task_sets = [
+        TaskSet(b, name=f"cpu{i}") if b else None for i, b in enumerate(bins)
+    ]
+    step = total_area / allocation_steps if allocation_steps > 0 else 0.0
+
+    # Per-processor utilization curve over the budget grid.
+    grid = [step * k for k in range(allocation_steps + 1)]
+    curves: list[list[float]] = []
+    assignments: list[list[tuple[int, ...]]] = []
+    for ts in task_sets:
+        if ts is None:
+            curves.append([0.0] * (allocation_steps + 1))
+            assignments.append([()] * (allocation_steps + 1))
+            continue
+        row: list[float] = []
+        row_assign: list[tuple[int, ...]] = []
+        for budget in grid:
+            sel = select_edf(ts, budget)
+            row.append(sel.utilization)
+            row_assign.append(sel.assignment)
+        curves.append(row)
+        assignments.append(row_assign)
+
+    # Min-max DP over budget allocation: f_i(b) = min_x max(U_i(x), f_{i-1}(b-x)).
+    inf = float("inf")
+    f = [curves[0][b] for b in range(allocation_steps + 1)]
+    picks: list[list[int]] = [[b for b in range(allocation_steps + 1)]]
+    for i in range(1, n_processors):
+        new = [inf] * (allocation_steps + 1)
+        pick = [0] * (allocation_steps + 1)
+        for b in range(allocation_steps + 1):
+            for x in range(b + 1):
+                val = max(curves[i][x], f[b - x])
+                if val < new[b] - 1e-15:
+                    new[b] = val
+                    pick[b] = x
+        f = new
+        picks.append(pick)
+
+    # Backtrack the allocation.
+    alloc = [0] * n_processors
+    b = allocation_steps
+    for i in range(n_processors - 1, 0, -1):
+        alloc[i] = picks[i][b]
+        b -= alloc[i]
+    alloc[0] = b
+
+    budgets = tuple(grid[a] for a in alloc)
+    utilizations = tuple(curves[i][alloc[i]] for i in range(n_processors))
+    chosen = tuple(assignments[i][alloc[i]] for i in range(n_processors))
+    names = tuple(tuple(t.name for t in b) for b in bins)
+    return MpsocResult(
+        processor_tasks=names,
+        budgets=budgets,
+        utilizations=utilizations,
+        assignments=chosen,
+    )

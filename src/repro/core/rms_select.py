@@ -1,0 +1,136 @@
+"""Optimal custom-instruction selection under RMS (thesis Algorithm 2).
+
+Branch-and-bound over per-task configuration choices:
+
+* tasks are explored in decreasing priority (increasing period) order, so a
+  partial solution only ever needs the schedulability check ``L_i <= 1`` of
+  the newly configured task (higher-priority tasks cannot be disturbed by a
+  lower-priority one);
+* at each task the configurations are tried in increasing execution time,
+  which reaches a good incumbent quickly;
+* a subtree is pruned when (a) its area is exhausted, (b) the new task
+  misses its deadline, or (c) the utilization lower bound — current partial
+  utilization plus every remaining task at its best configuration — cannot
+  beat the incumbent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ScheduleError
+from repro.rtsched.rms import rms_task_load
+from repro.rtsched.task import TaskSet
+
+__all__ = ["RmsSelection", "select_rms"]
+
+EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class RmsSelection:
+    """Result of the RMS branch-and-bound search.
+
+    Attributes:
+        utilization: minimum utilization over schedulable assignments, or
+            ``inf`` when no assignment is schedulable under the budget.
+        assignment: chosen configuration per task (priority order of the
+            *input* task set), or None when unschedulable.
+        area: total area of the assignment (0 when unschedulable).
+        nodes_visited: size of the explored search tree (for reporting).
+    """
+
+    utilization: float
+    assignment: tuple[int, ...] | None
+    area: float
+    nodes_visited: int = 0
+
+    @property
+    def schedulable(self) -> bool:
+        return self.assignment is not None
+
+
+def select_rms(task_set: TaskSet, area_budget: float) -> RmsSelection:
+    """Select per-task configurations minimizing utilization under RMS.
+
+    Args:
+        task_set: tasks with configuration curves.
+        area_budget: total CFU area constraint.
+
+    Returns:
+        The optimal :class:`RmsSelection` (exact; schedulability is checked
+        with the exact RMS test of Theorem 1).
+    """
+    if area_budget < 0:
+        raise ScheduleError("area budget must be non-negative")
+    # Priority order: increasing period.
+    order = sorted(range(len(task_set)), key=lambda i: task_set[i].period)
+    tasks = [task_set[i] for i in order]
+    n = len(tasks)
+    periods = [t.period for t in tasks]
+
+    # Per task: configurations sorted by increasing execution time, and the
+    # minimum achievable utilization (for the lower bound).
+    sorted_cfgs: list[list[tuple[int, float, float]]] = []
+    best_util_suffix = [0.0] * (n + 1)
+    for t in tasks:
+        cfgs = sorted(
+            ((j, c.cycles, c.area) for j, c in enumerate(t.configurations)),
+            key=lambda x: x[1],
+        )
+        sorted_cfgs.append(cfgs)
+    for i in range(n - 1, -1, -1):
+        best_cycle = min(c for _, c, _ in sorted_cfgs[i])
+        best_util_suffix[i] = best_util_suffix[i + 1] + best_cycle / periods[i]
+
+    incumbent_util = float("inf")
+    incumbent: list[int] | None = None
+    costs = [0.0] * n  # chosen execution times along the current path
+    path = [0] * n
+    visited = 0
+
+    def search(i: int, util: float, area_left: float) -> None:
+        nonlocal incumbent_util, incumbent, visited
+        visited += 1
+        for j, cycles, area in sorted_cfgs[i]:
+            if area > area_left + EPS:
+                continue
+            costs[i] = cycles
+            # Exact schedulability of task i given higher-priority choices.
+            if rms_task_load(periods, costs, i) > 1.0 + EPS:
+                # Configurations are in increasing execution time: if the
+                # fastest remaining ones fail, slower ones fail too - but
+                # the list is sorted ascending, so later entries are slower;
+                # prune the rest.
+                break
+            new_util = util + cycles / periods[i]
+            if i == n - 1:
+                if new_util < incumbent_util - EPS:
+                    incumbent_util = new_util
+                    path[i] = j
+                    incumbent = list(path)
+                continue
+            if new_util + best_util_suffix[i + 1] >= incumbent_util - EPS:
+                continue
+            path[i] = j
+            search(i + 1, new_util, area_left - area)
+        costs[i] = 0.0
+
+    search(0, 0.0, area_budget)
+
+    if incumbent is None:
+        return RmsSelection(
+            utilization=float("inf"), assignment=None, area=0.0, nodes_visited=visited
+        )
+    # Map the priority-ordered assignment back to the input task order.
+    assignment = [0] * n
+    for pos, orig in enumerate(order):
+        assignment[orig] = incumbent[pos]
+    util = task_set.utilization_for(assignment)
+    area = task_set.area_for(assignment)
+    return RmsSelection(
+        utilization=util,
+        assignment=tuple(assignment),
+        area=area,
+        nodes_visited=visited,
+    )

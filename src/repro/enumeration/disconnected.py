@@ -1,0 +1,89 @@
+"""Disconnected MIMO candidate construction (thesis 2.3.1, [81, 23, 36]).
+
+On base architectures without instruction-level parallelism, packing two
+*independent* connected subgraphs into one custom instruction lets them
+execute concurrently in the CFU, which a connected candidate cannot
+express.  A disconnected candidate is the union of connected feasible
+components with (a) combined I/O within the port constraints, (b) no
+dataflow path between the components (so the union stays convex and the
+components are truly parallel).
+
+The hardware latency of a disconnected candidate is the *maximum* of the
+component critical paths (they run in parallel), which is where the extra
+gain over sequential software execution comes from.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.graphs.dfg import DataFlowGraph
+
+__all__ = ["pair_disconnected", "components_independent"]
+
+
+def components_independent(
+    dfg: DataFlowGraph, a: frozenset[int], b: frozenset[int]
+) -> bool:
+    """True if no dataflow path connects components *a* and *b*.
+
+    Checked both ways by forward reachability from the earlier component.
+    Disjointness is required.
+    """
+    if a & b:
+        return False
+    # Forward reachability from each node set, bounded by max target id.
+    for src, dst in ((a, b), (b, a)):
+        target_max = max(dst)
+        frontier = [n for n in src if n < target_max]
+        seen = set(frontier)
+        while frontier:
+            cur = frontier.pop()
+            for s in dfg.succs(cur):
+                if s in dst:
+                    return False
+                if s < target_max and s not in seen:
+                    seen.add(s)
+                    frontier.append(s)
+    return True
+
+
+def pair_disconnected(
+    dfg: DataFlowGraph,
+    connected: list[frozenset[int]],
+    max_inputs: int,
+    max_outputs: int,
+    max_pairs: int = 2000,
+) -> list[frozenset[int]]:
+    """Combine connected feasible candidates into disconnected pairs.
+
+    Args:
+        dfg: the dataflow graph.
+        connected: connected feasible candidates (e.g. from
+            :func:`repro.enumeration.enumerate_connected`), ideally sorted
+            by decreasing size/gain so the best pairs are found first.
+        max_inputs / max_outputs: register-port constraints for the union.
+        max_pairs: cap on the number of returned pairs.
+
+    Returns:
+        Unions of two independent components, each feasible as a whole.
+    """
+    pairs: list[frozenset[int]] = []
+    seen: set[frozenset[int]] = set()
+    for a, b in combinations(connected, 2):
+        if len(pairs) >= max_pairs:
+            break
+        if a & b:
+            continue
+        union = a | b
+        if union in seen:
+            continue
+        io = dfg.io_count(union)
+        if io.inputs > max_inputs or io.outputs > max_outputs:
+            continue
+        if not components_independent(dfg, a, b):
+            continue
+        seen.add(union)
+        pairs.append(union)
+    pairs.sort(key=lambda s: (-len(s), sorted(s)))
+    return pairs

@@ -1,0 +1,102 @@
+"""Candidate-library construction for whole programs.
+
+Ties together profiling, region decomposition and MIMO enumeration: for each
+*hot* basic block (a block whose profile weight is at least a fraction of the
+program's total cycles — thesis Section 2.2), enumerate feasible candidates
+and annotate them with the block's execution frequency.
+"""
+
+from __future__ import annotations
+
+from repro.enumeration.mimo import enumerate_connected
+from repro.enumeration.patterns import CandidateLibrary, make_candidate
+from repro.graphs.program import Program
+from repro.isa.costmodel import DEFAULT_COST_MODEL, HardwareCostModel
+
+__all__ = ["build_candidate_library", "hot_block_indices"]
+
+
+def hot_block_indices(program: Program, hot_threshold: float = 0.01) -> list[int]:
+    """Indices of blocks contributing at least *hot_threshold* of cycles.
+
+    The contribution of block *i* is ``frequency_i x sw_cycles_i`` over the
+    program's total average cycles.
+    """
+    freq = program.profile()
+    blocks = program.basic_blocks
+    contrib = {
+        i: freq.get(i, 0.0) * blocks[i].dfg.sw_cycles() for i in range(len(blocks))
+    }
+    total = sum(contrib.values())
+    if total <= 0:
+        return []
+    hot = [i for i, c in contrib.items() if c / total >= hot_threshold]
+    hot.sort(key=lambda i: -contrib[i])
+    return hot
+
+
+def build_candidate_library(
+    program: Program,
+    max_inputs: int = 4,
+    max_outputs: int = 2,
+    hot_threshold: float = 0.01,
+    max_size: int = 12,
+    max_candidates_per_block: int = 2000,
+    include_disconnected: bool = False,
+    max_disconnected_per_block: int = 200,
+    model: HardwareCostModel = DEFAULT_COST_MODEL,
+) -> CandidateLibrary:
+    """Enumerate custom-instruction candidates for *program*.
+
+    Args:
+        program: the task's program model.
+        max_inputs / max_outputs: register-port constraints (the thesis uses
+            4 inputs / 2 outputs throughout).
+        hot_threshold: minimum fraction of program cycles for a block to be
+            analyzed.
+        max_size: maximum operations per candidate.
+        max_candidates_per_block: enumeration cap per basic block.
+        include_disconnected: also pair independent connected candidates
+            into disconnected MIMO candidates (thesis Section 2.3.1; their
+            hardware latency is the max of the component paths).
+        max_disconnected_per_block: pairing cap per block.
+        model: the hardware cost model.
+
+    Returns:
+        A :class:`CandidateLibrary` with profitable candidates only, ordered
+        by decreasing total gain.
+    """
+    freq = program.profile()
+    blocks = program.basic_blocks
+    library = CandidateLibrary()
+    for i in hot_block_indices(program, hot_threshold):
+        dfg = blocks[i].dfg
+        node_sets = enumerate_connected(
+            dfg,
+            max_inputs=max_inputs,
+            max_outputs=max_outputs,
+            max_size=max_size,
+            max_candidates=max_candidates_per_block,
+        )
+        if include_disconnected:
+            from repro.enumeration.disconnected import pair_disconnected
+
+            node_sets = node_sets + pair_disconnected(
+                dfg,
+                node_sets[: max(20, max_disconnected_per_block // 4)],
+                max_inputs=max_inputs,
+                max_outputs=max_outputs,
+                max_pairs=max_disconnected_per_block,
+            )
+        for nodes in node_sets:
+            cand = make_candidate(
+                dfg,
+                nodes,
+                block_index=i,
+                frequency=freq.get(i, 0.0),
+                model=model,
+            )
+            if cand.total_gain > 0:
+                library.add(cand)
+    ordered = sorted(library, key=lambda c: (-c.total_gain, c.area))
+    return CandidateLibrary(ordered)

@@ -1,0 +1,160 @@
+"""MIMO (multiple-input multiple-output) candidate enumeration.
+
+The number of convex subgraphs of a DFG is exponential in the worst case
+(thesis Section 2.3.1), so practical identification bounds the search.  Two
+enumerators are provided:
+
+* :func:`enumerate_connected` — ESU-style enumeration of *connected* induced
+  subgraphs without duplicates (each subgraph is generated exactly once from
+  its minimum-id node), filtered by the I/O and convexity constraints, with
+  size and count caps.  This is the production enumerator used to build
+  candidate libraries.
+* :func:`enumerate_exhaustive` — plain subset enumeration over a (small)
+  node set; exact but exponential.  Used by tests as ground truth and for
+  tiny regions.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.graphs.dfg import DataFlowGraph
+
+__all__ = ["enumerate_connected", "enumerate_exhaustive"]
+
+
+def _undirected_adjacency(
+    dfg: DataFlowGraph, allowed: set[int] | None = None
+) -> dict[int, set[int]]:
+    pool = dfg.valid_nodes if allowed is None else [
+        n for n in dfg.valid_nodes if n in allowed
+    ]
+    pool_set = set(pool)
+    adj: dict[int, set[int]] = {n: set() for n in pool}
+    for n in pool:
+        for p in dfg.preds(n):
+            if p in pool_set:
+                adj[n].add(p)
+                adj[p].add(n)
+    return adj
+
+
+def enumerate_connected(
+    dfg: DataFlowGraph,
+    max_inputs: int,
+    max_outputs: int,
+    max_size: int = 12,
+    max_candidates: int = 20000,
+    min_size: int = 2,
+    max_visited: int | None = None,
+) -> list[frozenset[int]]:
+    """Enumerate feasible connected subgraphs of *dfg*.
+
+    Uses the ESU scheme: for every valid node ``v`` (in increasing id order),
+    enumerate exactly once every connected subgraph whose minimum node id is
+    ``v`` by extending only with neighbours of id greater than ``v``.  Each
+    enumerated subgraph is kept if it satisfies the input/output constraints
+    and convexity.
+
+    Args:
+        dfg: the basic block's dataflow graph.
+        max_inputs / max_outputs: register-port constraints.
+        max_size: maximum number of operations in a candidate.
+        max_candidates: stop after this many feasible candidates (the
+            enumeration itself may visit more subgraphs).
+        min_size: smallest candidate worth keeping (default 2; a singleton
+            custom instruction cannot beat the native operation).
+        max_visited: cap on subgraphs *visited* (feasible or not); defaults
+            to ``25 x max_candidates``.  Bounds worst-case runtime on large
+            dense blocks.
+
+    Returns:
+        Feasible candidate node sets, largest first.
+    """
+    adj = _undirected_adjacency(dfg)
+    feasible: list[frozenset[int]] = []
+    total_budget = max_visited if max_visited is not None else 25 * max_candidates
+    roots = sorted(adj)
+    if not roots:
+        return []
+    # Spread the visit budget across roots so large blocks are covered
+    # end-to-end instead of exhausting the budget on the first few roots.
+    per_root_budget = max(200, total_budget // len(roots))
+    per_root_cap = max(20, max_candidates // len(roots))
+    visited = 0
+    found = 0
+
+    def extend(sub: set[int], extension: list[int], root: int) -> bool:
+        """Returns False when this root's visit or candidate cap is hit."""
+        nonlocal visited, found
+        visited += 1
+        if visited > per_root_budget:
+            return False
+        if len(sub) >= min_size and dfg.is_feasible(sub, max_inputs, max_outputs):
+            feasible.append(frozenset(sub))
+            found += 1
+            if found >= per_root_cap or len(feasible) >= max_candidates:
+                return False
+        if len(sub) >= max_size:
+            return True
+        # ESU: pick each extension node in turn; the new extension set adds
+        # exclusive neighbours (> root, not adjacent to current sub members
+        # already processed).
+        while extension:
+            w = extension.pop()
+            new_ext = list(extension)
+            sub_and_ext = sub | set(extension) | {w}
+            for u in adj[w]:
+                if u > root and u not in sub_and_ext:
+                    new_ext.append(u)
+            sub.add(w)
+            if not extend(sub, new_ext, root):
+                return False
+            sub.remove(w)
+        return True
+
+    for root in roots:
+        if len(feasible) >= max_candidates:
+            break
+        visited = 0
+        found = 0
+        ext = [u for u in adj[root] if u > root]
+        extend({root}, ext, root)
+    # Deduplicate (different roots cannot duplicate, but be safe) and order.
+    unique = sorted(set(feasible), key=lambda s: (-len(s), sorted(s)))
+    return unique
+
+
+def enumerate_exhaustive(
+    dfg: DataFlowGraph,
+    max_inputs: int,
+    max_outputs: int,
+    nodes: list[int] | None = None,
+    min_size: int = 2,
+    max_size: int | None = None,
+) -> list[frozenset[int]]:
+    """Enumerate *all* feasible subgraphs over *nodes* by subset search.
+
+    Exponential in ``len(nodes)``; intended for ground-truth checks and tiny
+    regions (roughly up to 18 nodes).
+
+    Args:
+        dfg: the dataflow graph.
+        max_inputs / max_outputs: register-port constraints.
+        nodes: restrict the search to these nodes (defaults to all valid
+            nodes).
+        min_size / max_size: candidate size bounds.
+
+    Returns:
+        All feasible candidate node sets (connected or not), largest first.
+    """
+    pool = sorted(set(nodes if nodes is not None else dfg.valid_nodes))
+    pool = [n for n in pool if dfg.is_valid_node(n)]
+    upper = max_size if max_size is not None else len(pool)
+    feasible: list[frozenset[int]] = []
+    for size in range(min_size, upper + 1):
+        for combo in combinations(pool, size):
+            if dfg.is_feasible(combo, max_inputs, max_outputs):
+                feasible.append(frozenset(combo))
+    feasible.sort(key=lambda s: (-len(s), sorted(s)))
+    return feasible

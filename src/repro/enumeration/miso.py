@@ -1,0 +1,58 @@
+"""Maximal MISO (multiple-input single-output) pattern identification.
+
+Implements the linear-time greedy algorithm of thesis Section 2.3.1
+(after [82]): starting from each potential sink node of the dataflow graph,
+grow the pattern upward by absorbing producer nodes as long as the pattern
+keeps a single output and does not exceed the input constraint.  Because the
+grown pattern is a "cone" feeding one sink, convexity holds by construction
+once the single-output property is maintained.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.dfg import DataFlowGraph
+
+__all__ = ["maximal_misos"]
+
+
+def maximal_misos(dfg: DataFlowGraph, max_inputs: int) -> list[frozenset[int]]:
+    """Identify maximal MISO patterns of *dfg*.
+
+    Args:
+        dfg: the basic block's dataflow graph.
+        max_inputs: register-port input constraint ``Nin``.
+
+    Returns:
+        A list of node sets, one per distinct maximal MISO with more than one
+        node, each feasible under (``max_inputs``, 1 output).
+    """
+    patterns: set[frozenset[int]] = set()
+    for sink in dfg.nodes:
+        if not dfg.is_valid_node(sink):
+            continue
+        # Only consider sinks whose value leaves the candidate (always true
+        # for the cone rooted at the sink itself).
+        cone = {sink}
+        grown = True
+        while grown:
+            grown = False
+            # Try absorbing any producer of the cone, largest first for
+            # determinism.
+            frontier = sorted(
+                {
+                    p
+                    for n in cone
+                    for p in dfg.preds(n)
+                    if p not in cone and dfg.is_valid_node(p)
+                },
+                reverse=True,
+            )
+            for p in frontier:
+                trial = cone | {p}
+                io = dfg.io_count(trial)
+                if io.outputs <= 1 and io.inputs <= max_inputs:
+                    cone = trial
+                    grown = True
+        if len(cone) > 1 and dfg.is_feasible(cone, max_inputs, 1):
+            patterns.add(frozenset(cone))
+    return sorted(patterns, key=lambda s: (-len(s), sorted(s)))

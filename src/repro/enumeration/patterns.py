@@ -1,0 +1,147 @@
+"""Custom-instruction candidates and candidate libraries.
+
+A *candidate* is a feasible induced subgraph of one basic block's DFG,
+annotated with its hardware cost and its per-execution cycle gain.  A
+*candidate library* aggregates candidates over a program's (hot) basic
+blocks, weighting gains by block execution frequency — the benefit of a
+candidate is ``(sw_cycles - hw_cycles) x frequency`` (thesis Section 2.3.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.graphs.dfg import DataFlowGraph
+from repro.isa.costmodel import DEFAULT_COST_MODEL, HardwareCostModel
+
+__all__ = ["Candidate", "make_candidate", "CandidateLibrary"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One feasible custom-instruction candidate.
+
+    Attributes:
+        block_index: index of the owning basic block within its program.
+        nodes: member node ids within the block's DFG.
+        sw_cycles: software latency of the covered operations.
+        hw_cycles: latency of the custom instruction in processor cycles.
+        area: hardware area in adder units.
+        inputs / outputs: operand counts.
+        frequency: execution count of the owning block (profile weight).
+        structural_key: canonical key; equal keys mean isomorphic datapaths.
+    """
+
+    block_index: int
+    nodes: frozenset[int]
+    sw_cycles: int
+    hw_cycles: int
+    area: float
+    inputs: int
+    outputs: int
+    frequency: float = 1.0
+    structural_key: tuple = ()
+
+    @property
+    def gain_per_exec(self) -> int:
+        """Cycles saved each time the owning block executes."""
+        return self.sw_cycles - self.hw_cycles
+
+    @property
+    def total_gain(self) -> float:
+        """Cycles saved over the whole profile."""
+        return self.gain_per_exec * self.frequency
+
+    @property
+    def size(self) -> int:
+        """Number of primitive operations covered."""
+        return len(self.nodes)
+
+    def overlaps(self, other: "Candidate") -> bool:
+        """True if the two candidates cover a common operation.
+
+        Overlapping candidates from the same block conflict: a base operation
+        is covered by at most one custom instruction (thesis Section 2.3.2).
+        """
+        return self.block_index == other.block_index and bool(
+            self.nodes & other.nodes
+        )
+
+
+def make_candidate(
+    dfg: DataFlowGraph,
+    nodes: Iterable[int],
+    block_index: int = 0,
+    frequency: float = 1.0,
+    model: HardwareCostModel = DEFAULT_COST_MODEL,
+) -> Candidate:
+    """Build a :class:`Candidate` from a node set (assumed feasible)."""
+    node_list = sorted(set(nodes))
+    node_set = set(node_list)
+    preds = {n: [p for p in dfg.preds(n) if p in node_set] for n in node_list}
+    ops = {n: dfg.op(n) for n in node_list}
+    cost = model.subgraph_cost(node_list, preds, ops)
+    io = dfg.io_count(node_list)
+    return Candidate(
+        block_index=block_index,
+        nodes=frozenset(node_list),
+        sw_cycles=cost.sw_cycles,
+        hw_cycles=cost.hw_cycles,
+        area=cost.area,
+        inputs=io.inputs,
+        outputs=io.outputs,
+        frequency=frequency,
+        structural_key=dfg.structural_key(node_list),
+    )
+
+
+class CandidateLibrary:
+    """An ordered collection of candidates with conflict information."""
+
+    def __init__(self, candidates: Sequence[Candidate] = ()) -> None:
+        self._candidates = list(candidates)
+
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    def __iter__(self):
+        return iter(self._candidates)
+
+    def __getitem__(self, i: int) -> Candidate:
+        return self._candidates[i]
+
+    def add(self, candidate: Candidate) -> None:
+        self._candidates.append(candidate)
+
+    def extend(self, candidates: Iterable[Candidate]) -> None:
+        self._candidates.extend(candidates)
+
+    @property
+    def candidates(self) -> list[Candidate]:
+        return list(self._candidates)
+
+    def profitable(self) -> "CandidateLibrary":
+        """Sub-library of candidates with strictly positive total gain."""
+        return CandidateLibrary([c for c in self._candidates if c.total_gain > 0])
+
+    def conflicts(self) -> list[tuple[int, int]]:
+        """Pairs of candidate indices that cover a common operation."""
+        by_block: dict[int, list[int]] = {}
+        for i, c in enumerate(self._candidates):
+            by_block.setdefault(c.block_index, []).append(i)
+        pairs: list[tuple[int, int]] = []
+        for indices in by_block.values():
+            for a in range(len(indices)):
+                for b in range(a + 1, len(indices)):
+                    i, j = indices[a], indices[b]
+                    if self._candidates[i].nodes & self._candidates[j].nodes:
+                        pairs.append((i, j))
+        return pairs
+
+    def isomorphism_classes(self) -> dict[tuple, list[int]]:
+        """Group candidate indices by structural key (shared datapaths)."""
+        classes: dict[tuple, list[int]] = {}
+        for i, c in enumerate(self._candidates):
+            classes.setdefault(c.structural_key, []).append(i)
+        return classes

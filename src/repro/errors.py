@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with one ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConstraintError(ReproError):
+    """An architectural constraint (I/O ports, convexity, area) is violated."""
+
+
+class GraphError(ReproError):
+    """A dataflow or control-flow graph is malformed for the requested use."""
+
+
+class ScheduleError(ReproError):
+    """A task set or schedule parameterization is invalid."""
+
+
+class SolverError(ReproError):
+    """An optimization backend failed to produce a solution."""
+
+
+class WorkloadError(ReproError):
+    """A workload/benchmark specification is unknown or inconsistent."""

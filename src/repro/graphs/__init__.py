@@ -1,0 +1,26 @@
+"""Dataflow/control-flow graph substrate."""
+
+from repro.graphs.dfg import DataFlowGraph, IOCount
+from repro.graphs.export import dfg_to_dot, rewritten_to_dot
+from repro.graphs.program import Block, BlockWeight, IfElse, Loop, Program, Seq
+from repro.graphs.rewrite import RewrittenBlock, acyclic_subset, rewrite_block
+from repro.graphs.schedule import ScheduleResult, list_schedule, schedule_dfg
+
+__all__ = [
+    "dfg_to_dot",
+    "rewritten_to_dot",
+    "RewrittenBlock",
+    "acyclic_subset",
+    "rewrite_block",
+    "ScheduleResult",
+    "list_schedule",
+    "schedule_dfg",
+    "DataFlowGraph",
+    "IOCount",
+    "Block",
+    "BlockWeight",
+    "IfElse",
+    "Loop",
+    "Program",
+    "Seq",
+]

@@ -1,0 +1,85 @@
+"""Graphviz DOT export for dataflow graphs and rewritten blocks.
+
+Debugging/documentation aid: render a basic block's DFG — optionally with
+selected custom instructions highlighted as clusters — with
+``dot -Tpng block.dot -o block.png``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.graphs.dfg import DataFlowGraph
+from repro.graphs.rewrite import RewrittenBlock
+
+__all__ = ["dfg_to_dot", "rewritten_to_dot"]
+
+
+def _esc(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def dfg_to_dot(
+    dfg: DataFlowGraph,
+    instructions: Sequence[Iterable[int]] = (),
+    name: str | None = None,
+) -> str:
+    """Render *dfg* as a DOT digraph.
+
+    Args:
+        dfg: the dataflow graph.
+        instructions: optional node groups drawn as labelled clusters
+            (e.g. selected custom instructions).
+        name: graph name (defaults to the DFG's own name).
+
+    Returns:
+        DOT source text.
+    """
+    label = _esc(name or dfg.name or "dfg")
+    lines = [f'digraph "{label}" {{', "  rankdir=TB;", '  node [shape=box, fontsize=10];']
+    grouped: set[int] = set()
+    for gi, group in enumerate(instructions):
+        members = sorted(set(group))
+        grouped.update(members)
+        lines.append(f"  subgraph cluster_ci{gi} {{")
+        lines.append(f'    label="CI{gi}"; style=filled; fillcolor=lightgrey;')
+        for n in members:
+            shape = "box" if dfg.is_valid_node(n) else "ellipse"
+            lines.append(
+                f'    n{n} [label="{n}: {_esc(str(dfg.op(n)))}", shape={shape}];'
+            )
+        lines.append("  }")
+    for n in dfg.nodes:
+        if n in grouped:
+            continue
+        shape = "box" if dfg.is_valid_node(n) else "ellipse"
+        style = "" if dfg.is_valid_node(n) else ", style=dashed"
+        lines.append(
+            f'  n{n} [label="{n}: {_esc(str(dfg.op(n)))}", shape={shape}{style}];'
+        )
+    for n in dfg.nodes:
+        for p in dfg.preds(n):
+            lines.append(f"  n{p} -> n{n};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def rewritten_to_dot(block: RewrittenBlock, name: str = "rewritten") -> str:
+    """Render a rewritten block (custom-instruction super-nodes doubled)."""
+    lines = [f'digraph "{_esc(name)}" {{', "  rankdir=TB;"]
+    for n in block.order:
+        members = block.node_members[n]
+        if len(members) > 1:
+            label = f"CI({len(members)} ops, {block.node_latency[n]}cy)"
+            lines.append(
+                f'  n{n} [label="{label}", shape=box, peripheries=2];'
+            )
+        else:
+            lines.append(
+                f'  n{n} [label="{members[0]} ({block.node_latency[n]}cy)", shape=box];'
+            )
+    for n in block.order:
+        for p in block.preds.get(n, ()):
+            lines.append(f"  n{p} -> n{n};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

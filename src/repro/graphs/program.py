@@ -1,0 +1,258 @@
+"""Structured program models: basic blocks, syntax tree, WCET, profiles.
+
+The thesis front-end (Trimaran) produces a control-flow graph plus a syntax
+tree per task; WCET is computed with the *timing schema* approach [76] and
+average-case profiles come from running representative inputs.  We model a
+program as a tree of structured constructs over basic blocks:
+
+* :class:`Block` — one basic block (a :class:`~repro.graphs.dfg.DataFlowGraph`)
+* :class:`Seq` — sequential composition
+* :class:`Loop` — a counted loop with a (worst-case) bound and an average
+  trip count for profiling
+* :class:`IfElse` — two-way branch with a taken probability for profiling
+
+Timing schema rules: ``wcet(Seq) = Σ wcet(child)``, ``wcet(Loop) = bound ×
+wcet(body)``, ``wcet(IfElse) = max(wcet(then), wcet(else))``.  Basic-block
+execution frequencies for the average case multiply loop average trip counts
+and branch probabilities down the tree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Mapping
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.graphs.dfg import DataFlowGraph
+
+__all__ = ["Block", "Seq", "Loop", "IfElse", "Program", "BlockWeight"]
+
+
+class _Construct:
+    """Base class for syntax-tree constructs."""
+
+    def blocks(self) -> Iterator["Block"]:
+        raise NotImplementedError
+
+
+@dataclass
+class Block(_Construct):
+    """A leaf construct wrapping one basic block."""
+
+    dfg: DataFlowGraph
+
+    def blocks(self) -> Iterator["Block"]:
+        yield self
+
+
+@dataclass
+class Seq(_Construct):
+    """Sequential composition of constructs."""
+
+    children: list[_Construct]
+
+    def blocks(self) -> Iterator[Block]:
+        for c in self.children:
+            yield from c.blocks()
+
+
+@dataclass
+class Loop(_Construct):
+    """A counted loop.
+
+    Attributes:
+        body: the loop body construct.
+        bound: worst-case iteration count (used by the timing schema).
+        avg_trip: average iteration count (used for profiling); defaults to
+            ``bound``.
+    """
+
+    body: _Construct
+    bound: int
+    avg_trip: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.bound < 1:
+            raise GraphError("loop bound must be >= 1")
+        if self.avg_trip is None:
+            self.avg_trip = float(self.bound)
+
+    def blocks(self) -> Iterator[Block]:
+        yield from self.body.blocks()
+
+
+@dataclass
+class IfElse(_Construct):
+    """Two-way conditional.
+
+    Attributes:
+        then_branch / else_branch: the two alternatives (``else_branch`` may
+            be an empty :class:`Seq`).
+        taken_prob: probability of the then-branch for profiling.
+    """
+
+    then_branch: _Construct
+    else_branch: _Construct
+    taken_prob: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.taken_prob <= 1.0:
+            raise GraphError("taken_prob must be within [0, 1]")
+
+    def blocks(self) -> Iterator[Block]:
+        yield from self.then_branch.blocks()
+        yield from self.else_branch.blocks()
+
+
+@dataclass(frozen=True)
+class BlockWeight:
+    """Contribution of one basic block to a program path.
+
+    Attributes:
+        block: the basic block.
+        count: execution count along the path / in the profile.
+        cycles: ``count`` times the block's (possibly customized) latency.
+    """
+
+    block: Block
+    count: float
+    cycles: float
+
+
+class Program:
+    """A task's program: a syntax tree with cost and profile queries.
+
+    Args:
+        name: task/benchmark name.
+        root: the syntax-tree root construct.
+    """
+
+    def __init__(self, name: str, root: _Construct) -> None:
+        self.name = name
+        self.root = root
+        self._blocks = list(root.blocks())
+        if not self._blocks:
+            raise GraphError(f"program {name!r} has no basic blocks")
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Program({self.name!r}, blocks={len(self._blocks)})"
+
+    @property
+    def basic_blocks(self) -> list[Block]:
+        """All basic blocks (source order)."""
+        return list(self._blocks)
+
+    def block_stats(self) -> tuple[int, float]:
+        """(max, average) basic-block size in primitive instructions."""
+        sizes = [len(b.dfg) for b in self._blocks]
+        return max(sizes), sum(sizes) / len(sizes)
+
+    # ------------------------------------------------------------------
+    # Timing schema WCET
+    # ------------------------------------------------------------------
+    def wcet(self, block_cycles: Callable[[Block], float] | None = None) -> float:
+        """Worst-case execution time by the timing schema.
+
+        Args:
+            block_cycles: latency of each block in cycles; defaults to the
+                block's plain software latency.  Pass a custom function to
+                evaluate WCET *after* custom-instruction substitution.
+        """
+        cost = block_cycles or (lambda b: float(b.dfg.sw_cycles()))
+        return self._wcet(self.root, cost)
+
+    def _wcet(self, node: _Construct, cost: Callable[[Block], float]) -> float:
+        if isinstance(node, Block):
+            return cost(node)
+        if isinstance(node, Seq):
+            return sum(self._wcet(c, cost) for c in node.children)
+        if isinstance(node, Loop):
+            return node.bound * self._wcet(node.body, cost)
+        if isinstance(node, IfElse):
+            return max(
+                self._wcet(node.then_branch, cost),
+                self._wcet(node.else_branch, cost),
+            )
+        raise GraphError(f"unknown construct {type(node).__name__}")
+
+    def wcet_path(
+        self, block_cycles: Callable[[Block], float] | None = None
+    ) -> list[BlockWeight]:
+        """Basic blocks on the WCET path with execution counts and weights.
+
+        At each conditional the more expensive branch is taken; loop bodies
+        multiply the enclosing count by the loop bound.  The result is sorted
+        by descending cycle contribution, matching the thesis's ordering of
+        critical basic blocks (Section 5.1, Algorithm 4 line 7).
+        """
+        cost = block_cycles or (lambda b: float(b.dfg.sw_cycles()))
+        acc: list[BlockWeight] = []
+        self._collect_wcet_path(self.root, 1.0, cost, acc)
+        acc.sort(key=lambda w: -w.cycles)
+        return acc
+
+    def _collect_wcet_path(
+        self,
+        node: _Construct,
+        count: float,
+        cost: Callable[[Block], float],
+        acc: list[BlockWeight],
+    ) -> None:
+        if isinstance(node, Block):
+            acc.append(BlockWeight(block=node, count=count, cycles=count * cost(node)))
+        elif isinstance(node, Seq):
+            for c in node.children:
+                self._collect_wcet_path(c, count, cost, acc)
+        elif isinstance(node, Loop):
+            self._collect_wcet_path(node.body, count * node.bound, cost, acc)
+        elif isinstance(node, IfElse):
+            then_w = self._wcet(node.then_branch, cost)
+            else_w = self._wcet(node.else_branch, cost)
+            chosen = node.then_branch if then_w >= else_w else node.else_branch
+            self._collect_wcet_path(chosen, count, cost, acc)
+        else:  # pragma: no cover - defensive
+            raise GraphError(f"unknown construct {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # Average-case profile
+    # ------------------------------------------------------------------
+    def profile(self) -> dict[int, float]:
+        """Average execution frequency of each basic block.
+
+        Returns:
+            Mapping from block index (position in :attr:`basic_blocks`) to
+            expected execution count per program run.
+        """
+        freq: dict[int, float] = {}
+        index = {id(b): i for i, b in enumerate(self._blocks)}
+        self._collect_profile(self.root, 1.0, index, freq)
+        return freq
+
+    def _collect_profile(
+        self,
+        node: _Construct,
+        count: float,
+        index: Mapping[int, int],
+        freq: dict[int, float],
+    ) -> None:
+        if isinstance(node, Block):
+            freq[index[id(node)]] = freq.get(index[id(node)], 0.0) + count
+        elif isinstance(node, Seq):
+            for c in node.children:
+                self._collect_profile(c, count, index, freq)
+        elif isinstance(node, Loop):
+            self._collect_profile(node.body, count * float(node.avg_trip), index, freq)
+        elif isinstance(node, IfElse):
+            self._collect_profile(node.then_branch, count * node.taken_prob, index, freq)
+            self._collect_profile(
+                node.else_branch, count * (1.0 - node.taken_prob), index, freq
+            )
+        else:  # pragma: no cover - defensive
+            raise GraphError(f"unknown construct {type(node).__name__}")
+
+    def avg_cycles(self, block_cycles: Callable[[Block], float] | None = None) -> float:
+        """Average-case execution cycles per run under the profile."""
+        cost = block_cycles or (lambda b: float(b.dfg.sw_cycles()))
+        freq = self.profile()
+        return sum(freq[i] * cost(b) for i, b in enumerate(self._blocks))

@@ -1,0 +1,171 @@
+"""Code generation: rewrite a DFG with selected custom instructions.
+
+The last stage of the thesis design flow (Figure 1.2 / Section 2.2):
+"subgraphs corresponding to selected custom instructions are identified in
+the DFG of each basic block and replaced by custom instructions".  The
+rewritten block is a DFG whose nodes are either original primitive
+operations or *custom-instruction super-nodes*; scheduling it (see
+:mod:`repro.graphs.schedule`) yields the block's customized cycle count
+without the additive-gain approximation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.graphs.dfg import DataFlowGraph
+from repro.isa.costmodel import DEFAULT_COST_MODEL, HardwareCostModel
+from repro.isa.opcodes import op_info
+
+__all__ = ["RewrittenBlock", "rewrite_block", "acyclic_subset"]
+
+
+@dataclass(frozen=True)
+class RewrittenBlock:
+    """A basic block after custom-instruction substitution.
+
+    Attributes:
+        node_latency: latency per rewritten-graph node id.
+        node_members: original node ids folded into each rewritten node.
+        preds: predecessor lists of the rewritten graph.
+        order: rewritten node ids in topological order.
+        n_custom: number of custom-instruction super-nodes.
+    """
+
+    node_latency: dict[int, int]
+    node_members: dict[int, tuple[int, ...]]
+    preds: dict[int, tuple[int, ...]]
+    order: tuple[int, ...]
+    n_custom: int
+
+    def sequential_cycles(self) -> int:
+        """Single-issue additive cost of the rewritten block."""
+        return sum(self.node_latency[n] for n in self.order)
+
+    def scheduled_cycles(self, issue_width: int = 1) -> int:
+        """List-scheduled cost of the rewritten block."""
+        from repro.graphs.schedule import list_schedule
+
+        result = list_schedule(
+            self.order, self.preds, self.node_latency, issue_width=issue_width
+        )
+        return result.makespan
+
+
+def rewrite_block(
+    dfg: DataFlowGraph,
+    instructions: Sequence[Iterable[int]],
+    model: HardwareCostModel = DEFAULT_COST_MODEL,
+) -> RewrittenBlock:
+    """Replace each selected subgraph by one custom-instruction node.
+
+    Args:
+        dfg: the original basic block.
+        instructions: disjoint feasible node sets (selected candidates).
+        model: hardware model for custom-instruction latencies.
+
+    Returns:
+        The :class:`RewrittenBlock`.
+
+    Raises:
+        GraphError: if instruction node sets overlap or reference unknown
+            nodes.
+    """
+    groups = [frozenset(g) for g in instructions]
+    owner: dict[int, int] = {}
+    for gi, g in enumerate(groups):
+        if not g:
+            raise GraphError("custom instruction with no nodes")
+        for n in g:
+            if not 0 <= n < len(dfg):
+                raise GraphError(f"instruction references unknown node {n}")
+            if n in owner:
+                raise GraphError(f"node {n} covered by two custom instructions")
+            owner[n] = gi
+
+    # Rewritten node ids: one per uncovered original node (id reused) and
+    # one per group (new ids appended after the original range).
+    group_node = {gi: len(dfg) + gi for gi in range(len(groups))}
+
+    def rep(n: int) -> int:
+        gi = owner.get(n)
+        return group_node[gi] if gi is not None else n
+
+    latencies: dict[int, int] = {}
+    members: dict[int, tuple[int, ...]] = {}
+    preds: dict[int, set[int]] = {}
+    for n in dfg.nodes:
+        r = rep(n)
+        preds.setdefault(r, set())
+        for p in dfg.preds(n):
+            rp = rep(p)
+            if rp != r:
+                preds[r].add(rp)
+    for n in dfg.nodes:
+        if n not in owner:
+            latencies[n] = op_info(dfg.op(n)).sw_cycles
+            members[n] = (n,)
+    for gi, g in enumerate(groups):
+        ordered = sorted(g)
+        g_preds = {n: [p for p in dfg.preds(n) if p in g] for n in ordered}
+        ops = {n: dfg.op(n) for n in ordered}
+        cost = model.subgraph_cost(ordered, g_preds, ops)
+        latencies[group_node[gi]] = cost.hw_cycles
+        members[group_node[gi]] = tuple(ordered)
+
+    # Topological order of the rewritten graph (Kahn).
+    all_nodes = sorted(latencies)
+    indeg = {n: len(preds.get(n, ())) for n in all_nodes}
+    succs: dict[int, list[int]] = {n: [] for n in all_nodes}
+    for n in all_nodes:
+        for p in preds.get(n, ()):
+            succs[p].append(n)
+    queue = sorted(n for n in all_nodes if indeg[n] == 0)
+    order: list[int] = []
+    import heapq
+
+    heapq.heapify(queue)
+    while queue:
+        n = heapq.heappop(queue)
+        order.append(n)
+        for s in succs[n]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                heapq.heappush(queue, s)
+    if len(order) != len(all_nodes):
+        raise GraphError(
+            "rewritten graph is cyclic; a custom instruction must be convex"
+        )
+    return RewrittenBlock(
+        node_latency=latencies,
+        node_members=members,
+        preds={n: tuple(sorted(p)) for n, p in preds.items()},
+        order=tuple(order),
+        n_custom=len(groups),
+    )
+
+
+def acyclic_subset(
+    dfg: DataFlowGraph, groups: Sequence[Iterable[int]]
+) -> list[frozenset[int]]:
+    """Greedily keep the custom instructions that can be folded together.
+
+    Two individually convex, disjoint candidates can still deadlock each
+    other when both are folded: if some node of A feeds B and some node of
+    B feeds A, the contracted graph is cyclic and neither super-node can
+    issue atomically.  Selection only enforces pairwise disjointness
+    (thesis Section 2.3.2), so code generation must resolve this; the
+    greedy order-preserving filter below keeps each group only when the
+    contracted graph stays acyclic.
+    """
+    kept: list[frozenset[int]] = []
+    for g in groups:
+        trial = [*kept, frozenset(g)]
+        try:
+            rewrite_block(dfg, trial)
+        except GraphError:
+            continue
+        kept = trial
+    return kept

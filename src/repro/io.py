@@ -1,0 +1,160 @@
+"""JSON serialization for task sets, hot loops and results.
+
+Lets users persist derived artifacts (configuration curves are expensive to
+build) and feed external data — e.g. CIS-version tables measured on real
+hardware — into the solvers without touching the synthetic substrate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.mtreconfig.model import ReconfigTask, TaskVersion
+from repro.reconfig.model import CISVersion, HotLoop
+from repro.rtsched.task import PeriodicTask, TaskSet
+from repro.selection.config_curve import TaskConfiguration
+
+__all__ = [
+    "task_set_to_dict",
+    "task_set_from_dict",
+    "hot_loops_to_dict",
+    "hot_loops_from_dict",
+    "reconfig_tasks_to_dict",
+    "reconfig_tasks_from_dict",
+    "save_json",
+    "load_json",
+]
+
+_SCHEMA = "repro/v1"
+
+
+def task_set_to_dict(task_set: TaskSet) -> dict[str, Any]:
+    """Serialize a :class:`TaskSet` (with configuration curves)."""
+    return {
+        "schema": _SCHEMA,
+        "kind": "task_set",
+        "name": task_set.name,
+        "tasks": [
+            {
+                "name": t.name,
+                "period": t.period,
+                "wcet": t.wcet,
+                "configurations": [
+                    {"area": c.area, "cycles": c.cycles} for c in t.configurations
+                ],
+            }
+            for t in task_set
+        ],
+    }
+
+
+def task_set_from_dict(data: dict[str, Any]) -> TaskSet:
+    """Inverse of :func:`task_set_to_dict`."""
+    _check(data, "task_set")
+    tasks = []
+    for t in data["tasks"]:
+        configurations = tuple(
+            TaskConfiguration(area=c["area"], cycles=c["cycles"])
+            for c in t["configurations"]
+        )
+        tasks.append(
+            PeriodicTask(
+                name=t["name"],
+                period=t["period"],
+                wcet=t["wcet"],
+                configurations=configurations,
+            )
+        )
+    return TaskSet(tasks, name=data.get("name", ""))
+
+
+def hot_loops_to_dict(
+    loops: list[HotLoop], trace: list[int] | None = None
+) -> dict[str, Any]:
+    """Serialize Chapter 6 hot loops (and optionally their trace)."""
+    out: dict[str, Any] = {
+        "schema": _SCHEMA,
+        "kind": "hot_loops",
+        "loops": [
+            {
+                "name": lp.name,
+                "versions": [{"area": v.area, "gain": v.gain} for v in lp.versions],
+            }
+            for lp in loops
+        ],
+    }
+    if trace is not None:
+        out["trace"] = list(trace)
+    return out
+
+
+def hot_loops_from_dict(data: dict[str, Any]) -> tuple[list[HotLoop], list[int]]:
+    """Inverse of :func:`hot_loops_to_dict`; trace defaults to empty."""
+    _check(data, "hot_loops")
+    loops = [
+        HotLoop(
+            name=lp["name"],
+            versions=tuple(
+                CISVersion(area=v["area"], gain=v["gain"]) for v in lp["versions"]
+            ),
+        )
+        for lp in data["loops"]
+    ]
+    return loops, list(data.get("trace", []))
+
+
+def reconfig_tasks_to_dict(tasks: list[ReconfigTask]) -> dict[str, Any]:
+    """Serialize Chapter 7 reconfigurable tasks."""
+    return {
+        "schema": _SCHEMA,
+        "kind": "reconfig_tasks",
+        "tasks": [
+            {
+                "name": t.name,
+                "period": t.period,
+                "versions": [
+                    {"area": v.area, "cycles": v.cycles} for v in t.versions
+                ],
+            }
+            for t in tasks
+        ],
+    }
+
+
+def reconfig_tasks_from_dict(data: dict[str, Any]) -> list[ReconfigTask]:
+    """Inverse of :func:`reconfig_tasks_to_dict`."""
+    _check(data, "reconfig_tasks")
+    return [
+        ReconfigTask(
+            name=t["name"],
+            period=t["period"],
+            versions=tuple(
+                TaskVersion(area=v["area"], cycles=v["cycles"])
+                for v in t["versions"]
+            ),
+        )
+        for t in data["tasks"]
+    ]
+
+
+def save_json(data: dict[str, Any], path: str | Path) -> None:
+    """Write a serialized artifact to *path*."""
+    Path(path).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read a serialized artifact; validates the schema marker."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or data.get("schema") != _SCHEMA:
+        raise ReproError(f"{path}: not a {_SCHEMA} artifact")
+    return data
+
+
+def _check(data: dict[str, Any], kind: str) -> None:
+    if data.get("schema") != _SCHEMA:
+        raise ReproError(f"expected schema {_SCHEMA}, got {data.get('schema')!r}")
+    if data.get("kind") != kind:
+        raise ReproError(f"expected kind {kind!r}, got {data.get('kind')!r}")

@@ -1,0 +1,15 @@
+"""Instruction-set and hardware cost modelling substrate."""
+
+from repro.isa.costmodel import DEFAULT_COST_MODEL, HardwareCostModel, SubgraphCost
+from repro.isa.opcodes import OP_TABLE, OpInfo, Opcode, is_valid_op, op_info
+
+__all__ = [
+    "DEFAULT_COST_MODEL",
+    "HardwareCostModel",
+    "SubgraphCost",
+    "OP_TABLE",
+    "OpInfo",
+    "Opcode",
+    "is_valid_op",
+    "op_info",
+]

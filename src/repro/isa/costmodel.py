@@ -1,0 +1,144 @@
+"""Hardware cost estimation for custom-instruction candidate subgraphs.
+
+The thesis (Section 5.2.3) estimates, for a candidate subgraph ``S`` of a
+dataflow graph:
+
+* *software latency* ``sw_ltc(S)`` — sum of the base-processor cycle counts of
+  the constituent operations (they execute sequentially on a single-issue
+  core);
+* *hardware latency* ``hw_ltc(S)`` — the critical-path combinational delay of
+  the subgraph, rounded up to whole processor cycles (normalized to a MAC);
+* *area* — the sum of the constituent operations' hardware areas (adders).
+
+The per-execution *gain* of implementing ``S`` as a custom instruction is
+``sw_ltc(S) - hw_cycles(S)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.isa.opcodes import Opcode, op_info
+
+__all__ = ["HardwareCostModel", "SubgraphCost"]
+
+
+@dataclass(frozen=True)
+class SubgraphCost:
+    """Cost summary of one candidate subgraph.
+
+    Attributes:
+        sw_cycles: total software latency in processor cycles.
+        hw_delay: critical-path delay in MAC-normalized units.
+        hw_cycles: hardware latency rounded up to whole cycles (minimum 1).
+        area: silicon area in adder units.
+        gain: cycles saved per execution (``sw_cycles - hw_cycles``).
+    """
+
+    sw_cycles: int
+    hw_delay: float
+    hw_cycles: int
+    area: float
+
+    @property
+    def gain(self) -> int:
+        return self.sw_cycles - self.hw_cycles
+
+
+class HardwareCostModel:
+    """Estimates software/hardware cost of operation subgraphs.
+
+    Args:
+        cycle_delay: combinational delay budget of one processor cycle, in
+            MAC-normalized units.  The thesis normalizes a MAC to exactly one
+            cycle at 120 MHz, so the default is 1.0.
+    """
+
+    def __init__(self, cycle_delay: float = 1.0) -> None:
+        if cycle_delay <= 0:
+            raise ValueError("cycle_delay must be positive")
+        self.cycle_delay = cycle_delay
+
+    # ------------------------------------------------------------------
+    # Per-operation primitives
+    # ------------------------------------------------------------------
+    def sw_cycles(self, op: Opcode) -> int:
+        """Software latency of a single operation, in cycles."""
+        return op_info(op).sw_cycles
+
+    def hw_delay(self, op: Opcode) -> float:
+        """Combinational delay of a single operation."""
+        return op_info(op).hw_delay
+
+    def area(self, op: Opcode) -> float:
+        """Hardware area of a single operation, in adder units."""
+        return op_info(op).hw_area
+
+    # ------------------------------------------------------------------
+    # Subgraph costs
+    # ------------------------------------------------------------------
+    def subgraph_sw_cycles(self, ops: Iterable[Opcode]) -> int:
+        """Total sequential software latency of a set of operations."""
+        return sum(op_info(op).sw_cycles for op in ops)
+
+    def subgraph_area(self, ops: Iterable[Opcode]) -> float:
+        """Total area of a set of operations (additive model)."""
+        return sum(op_info(op).hw_area for op in ops)
+
+    def critical_path_delay(
+        self,
+        nodes: Iterable[int],
+        preds: Mapping[int, Iterable[int]],
+        node_op: Mapping[int, Opcode],
+    ) -> float:
+        """Critical-path combinational delay of a subgraph.
+
+        Args:
+            nodes: subgraph node ids in *topological order*.
+            preds: predecessor map restricted to the subgraph.
+            node_op: opcode of each node.
+
+        Returns:
+            The longest-path delay through the subgraph.
+        """
+        finish: dict[int, float] = {}
+        longest = 0.0
+        for node in nodes:
+            start = 0.0
+            for p in preds.get(node, ()):
+                t = finish.get(p)
+                if t is not None and t > start:
+                    start = t
+            end = start + op_info(node_op[node]).hw_delay
+            finish[node] = end
+            if end > longest:
+                longest = end
+        return longest
+
+    def hw_cycles(self, delay: float) -> int:
+        """Convert a combinational delay to whole processor cycles (>= 1)."""
+        if delay <= 0:
+            return 1
+        return max(1, math.ceil(delay / self.cycle_delay - 1e-9))
+
+    def subgraph_cost(
+        self,
+        nodes: list[int],
+        preds: Mapping[int, Iterable[int]],
+        node_op: Mapping[int, Opcode],
+    ) -> SubgraphCost:
+        """Full :class:`SubgraphCost` for a topologically ordered subgraph."""
+        ops = [node_op[n] for n in nodes]
+        delay = self.critical_path_delay(nodes, preds, node_op)
+        return SubgraphCost(
+            sw_cycles=self.subgraph_sw_cycles(ops),
+            hw_delay=delay,
+            hw_cycles=self.hw_cycles(delay),
+            area=self.subgraph_area(ops),
+        )
+
+
+#: Module-level default model (MAC-normalized, 1 cycle per MAC delay).
+DEFAULT_COST_MODEL = HardwareCostModel()

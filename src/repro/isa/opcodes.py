@@ -1,0 +1,142 @@
+"""Primitive operation set of the base processor.
+
+The thesis customizes a single-issue in-order embedded core (Xtensa-like).
+Custom-instruction identification and hardware estimation only need, per
+primitive opcode:
+
+* ``sw_cycles`` — latency of the operation on the base processor pipeline,
+  in processor cycles;
+* ``hw_delay`` — propagation delay of a combinational hardware implementation,
+  normalized so that a 32-bit multiply-accumulate (MAC) unit has delay 1.0
+  (the thesis normalizes custom-instruction latency against a MAC that takes
+  one cycle at 120 MHz);
+* ``hw_area`` — silicon area of the hardware implementation, normalized to the
+  area of a 32-bit ripple-carry adder (the thesis reports hardware area "in
+  terms of the number of adders").
+
+Values are representative of a 0.18 micron standard-cell library (the thesis
+uses Synopsys synthesis with 0.18 micron CMOS cells); the algorithms only
+require that the model is additive in area and that hardware delay composes
+along the critical path.
+
+Opcodes that touch memory or transfer control (``LOAD``, ``STORE``,
+``BRANCH``, ``CALL``, ``RETURN``) are *invalid* for inclusion in a custom
+instruction: the CFU has no memory port and custom instructions must execute
+atomically.  Invalid nodes partition a basic block's dataflow graph into
+*regions* (thesis Section 5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Opcode", "OpInfo", "OP_TABLE", "op_info", "is_valid_op"]
+
+
+class Opcode(str, Enum):
+    """Primitive machine operations of the base instruction set."""
+
+    # Arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    MAC = "mac"
+    DIV = "div"
+    NEG = "neg"
+    ABS = "abs"
+    MIN = "min"
+    MAX = "max"
+    # Logic
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    # Shifts
+    SHL = "shl"
+    SHR = "shr"
+    ROTL = "rotl"
+    ROTR = "rotr"
+    # Comparison / selection
+    CMP = "cmp"
+    SELECT = "select"
+    # Data movement (register-to-register; valid in a CI)
+    MOV = "mov"
+    SEXT = "sext"
+    ZEXT = "zext"
+    # Constant materialization
+    CONST = "const"
+    # Invalid-for-CI operations
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    CALL = "call"
+    RETURN = "return"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static cost/validity description of one primitive opcode.
+
+    Attributes:
+        sw_cycles: base-processor latency in cycles.
+        hw_delay: combinational delay, normalized to a 1-cycle MAC.
+        hw_area: silicon area, normalized to one 32-bit adder.
+        valid: whether the operation may be part of a custom instruction.
+        arity: number of data inputs the operation consumes.
+    """
+
+    sw_cycles: int
+    hw_delay: float
+    hw_area: float
+    valid: bool = True
+    arity: int = 2
+
+
+#: Cost table for every primitive opcode.  Delay/area ratios follow typical
+#: 0.18 micron synthesis results: a multiplier is ~18x an adder in area and
+#: ~2.5x in delay; logic ops are cheap and fast; shifts by variable amounts
+#: cost a barrel shifter (~2 adders).
+OP_TABLE: dict[Opcode, OpInfo] = {
+    Opcode.ADD: OpInfo(sw_cycles=1, hw_delay=0.35, hw_area=1.0),
+    Opcode.SUB: OpInfo(sw_cycles=1, hw_delay=0.35, hw_area=1.0),
+    Opcode.MUL: OpInfo(sw_cycles=3, hw_delay=0.85, hw_area=18.0),
+    Opcode.MAC: OpInfo(sw_cycles=3, hw_delay=1.00, hw_area=19.0, arity=3),
+    Opcode.DIV: OpInfo(sw_cycles=18, hw_delay=3.20, hw_area=30.0),
+    Opcode.NEG: OpInfo(sw_cycles=1, hw_delay=0.20, hw_area=0.6, arity=1),
+    Opcode.ABS: OpInfo(sw_cycles=1, hw_delay=0.30, hw_area=1.2, arity=1),
+    Opcode.MIN: OpInfo(sw_cycles=1, hw_delay=0.45, hw_area=1.5),
+    Opcode.MAX: OpInfo(sw_cycles=1, hw_delay=0.45, hw_area=1.5),
+    Opcode.AND: OpInfo(sw_cycles=1, hw_delay=0.05, hw_area=0.15),
+    Opcode.OR: OpInfo(sw_cycles=1, hw_delay=0.05, hw_area=0.15),
+    Opcode.XOR: OpInfo(sw_cycles=1, hw_delay=0.07, hw_area=0.25),
+    Opcode.NOT: OpInfo(sw_cycles=1, hw_delay=0.03, hw_area=0.08, arity=1),
+    Opcode.SHL: OpInfo(sw_cycles=1, hw_delay=0.25, hw_area=2.0),
+    Opcode.SHR: OpInfo(sw_cycles=1, hw_delay=0.25, hw_area=2.0),
+    Opcode.ROTL: OpInfo(sw_cycles=1, hw_delay=0.28, hw_area=2.2),
+    Opcode.ROTR: OpInfo(sw_cycles=1, hw_delay=0.28, hw_area=2.2),
+    Opcode.CMP: OpInfo(sw_cycles=1, hw_delay=0.30, hw_area=0.9),
+    Opcode.SELECT: OpInfo(sw_cycles=1, hw_delay=0.10, hw_area=0.5, arity=3),
+    Opcode.MOV: OpInfo(sw_cycles=1, hw_delay=0.01, hw_area=0.02, arity=1),
+    Opcode.SEXT: OpInfo(sw_cycles=1, hw_delay=0.02, hw_area=0.05, arity=1),
+    Opcode.ZEXT: OpInfo(sw_cycles=1, hw_delay=0.02, hw_area=0.05, arity=1),
+    Opcode.CONST: OpInfo(sw_cycles=1, hw_delay=0.00, hw_area=0.0, arity=0),
+    Opcode.LOAD: OpInfo(sw_cycles=2, hw_delay=0.0, hw_area=0.0, valid=False, arity=1),
+    Opcode.STORE: OpInfo(sw_cycles=2, hw_delay=0.0, hw_area=0.0, valid=False, arity=2),
+    Opcode.BRANCH: OpInfo(sw_cycles=2, hw_delay=0.0, hw_area=0.0, valid=False, arity=1),
+    Opcode.CALL: OpInfo(sw_cycles=4, hw_delay=0.0, hw_area=0.0, valid=False, arity=0),
+    Opcode.RETURN: OpInfo(sw_cycles=2, hw_delay=0.0, hw_area=0.0, valid=False, arity=0),
+}
+
+
+def op_info(op: Opcode) -> OpInfo:
+    """Return the :class:`OpInfo` cost record for *op*."""
+    return OP_TABLE[op]
+
+
+def is_valid_op(op: Opcode) -> bool:
+    """Return True if *op* may appear inside a custom instruction."""
+    return OP_TABLE[op].valid

@@ -1,0 +1,28 @@
+"""Iterative custom-instruction generation via multi-level graph
+partitioning (thesis Chapter 5)."""
+
+from repro.mlgp.flow import (
+    GeneratedCI,
+    IterationRecord,
+    IterativeResult,
+    ProfileStep,
+    iterative_customization,
+    mlgp_program_profile,
+)
+from repro.mlgp.is_baseline import IsStep, iterative_selection
+from repro.mlgp.isegen import isegen_selection
+from repro.mlgp.mlgp import MlgpResult, mlgp_partition
+
+__all__ = [
+    "isegen_selection",
+    "GeneratedCI",
+    "IterationRecord",
+    "IterativeResult",
+    "ProfileStep",
+    "iterative_customization",
+    "mlgp_program_profile",
+    "IsStep",
+    "iterative_selection",
+    "MlgpResult",
+    "mlgp_partition",
+]

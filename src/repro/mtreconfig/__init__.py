@@ -1,0 +1,26 @@
+"""Runtime reconfiguration for multi-tasking real-time systems (Ch. 7)."""
+
+from repro.mtreconfig.dp import DpReport, dp_solution
+from repro.mtreconfig.ilp import IlpReport, ilp_solution
+from repro.mtreconfig.model import (
+    MTSolution,
+    ReconfigTask,
+    TaskVersion,
+    effective_utilization,
+)
+from repro.mtreconfig.static import static_solution
+from repro.mtreconfig.workload import synthetic_reconfig_tasks, tasks_from_benchmarks
+
+__all__ = [
+    "DpReport",
+    "dp_solution",
+    "IlpReport",
+    "ilp_solution",
+    "MTSolution",
+    "ReconfigTask",
+    "TaskVersion",
+    "effective_utilization",
+    "static_solution",
+    "synthetic_reconfig_tasks",
+    "tasks_from_benchmarks",
+]

@@ -1,0 +1,133 @@
+"""Model for runtime reconfiguration in multi-tasking systems (Ch. 7).
+
+Periodic hard real-time tasks share a runtime-reconfigurable CFU fabric of
+area ``A``.  Each task has CIS *versions* trading area for execution time
+(version 0 = software).  Selected versions are grouped into
+*configurations*; the fabric holds one configuration at a time, and loading
+a configuration costs ``rho`` time units.
+
+The Chapter 7 text in the source is partially truncated; the model below
+follows its abstract, section structure and ILP constraint families
+(uniqueness / resource / scheduling) — see DESIGN.md:
+
+* **uniqueness** — every task runs exactly one version, and a hardware
+  version lives in exactly one configuration;
+* **resource** — the versions co-resident in a configuration fit ``A``;
+* **scheduling (deadlines)** — with more than one configuration, in the
+  worst case every job of a hardware task must (re)load its configuration,
+  so its effective cost is ``cycles + rho``; the task set must satisfy the
+  EDF bound with these effective costs.  With a single configuration (the
+  static case) no reconfiguration ever happens.
+
+Objective: minimize the *effective utilization*
+
+    U = sum_i ( cycles_{i, j_i} + overhead_i ) / P_i ,
+    overhead_i = rho if task i is in hardware and >= 2 configurations exist
+                 else 0.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ReproError, ScheduleError
+
+__all__ = ["TaskVersion", "ReconfigTask", "MTSolution", "effective_utilization"]
+
+
+@dataclass(frozen=True)
+class TaskVersion:
+    """One CIS version of a task: hardware area vs. execution time."""
+
+    area: float
+    cycles: float
+
+    def __post_init__(self) -> None:
+        if self.area < 0 or self.cycles <= 0:
+            raise ReproError("area must be >= 0 and cycles > 0")
+
+
+@dataclass(frozen=True)
+class ReconfigTask:
+    """A periodic task with CIS versions on a reconfigurable fabric.
+
+    Attributes:
+        name: task label.
+        period: period (= deadline).
+        versions: version 0 must be software (area 0); versions should
+            decrease in cycles as area grows.
+    """
+
+    name: str
+    period: float
+    versions: tuple[TaskVersion, ...]
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ScheduleError(f"task {self.name!r}: period must be positive")
+        if not self.versions:
+            raise ReproError(f"task {self.name!r} needs at least one version")
+        if self.versions[0].area != 0:
+            raise ReproError(
+                f"task {self.name!r}: version 0 must be software (area 0)"
+            )
+
+    @property
+    def software_utilization(self) -> float:
+        return self.versions[0].cycles / self.period
+
+
+@dataclass(frozen=True)
+class MTSolution:
+    """A complete spatial+temporal partitioning solution.
+
+    Attributes:
+        selection: version index per task.
+        group_of: configuration id per task (ignored for software tasks).
+        utilization: effective utilization including reconfiguration
+            overhead.
+    """
+
+    selection: tuple[int, ...]
+    group_of: tuple[int, ...]
+    utilization: float
+
+    @property
+    def schedulable(self) -> bool:
+        return self.utilization <= 1.0 + 1e-9
+
+    def n_configurations(self, tasks: Sequence[ReconfigTask]) -> int:
+        return len(
+            {
+                self.group_of[i]
+                for i in range(len(self.selection))
+                if self.selection[i] != 0
+            }
+        )
+
+
+def effective_utilization(
+    tasks: Sequence[ReconfigTask],
+    selection: Sequence[int],
+    group_of: Sequence[int],
+    rho: float,
+) -> float:
+    """Effective utilization of a solution under the worst-case model.
+
+    Hardware tasks pay ``rho`` per period whenever at least two
+    configurations exist (each job may find the fabric holding another
+    configuration); a single configuration never reconfigures.
+    """
+    if len(selection) != len(tasks) or len(group_of) != len(tasks):
+        raise ReproError("selection/group_of length must match task count")
+    hw = [i for i, j in enumerate(selection) if j != 0]
+    groups = {group_of[i] for i in hw}
+    multi = len(groups) >= 2
+    total = 0.0
+    for i, task in enumerate(tasks):
+        cycles = task.versions[selection[i]].cycles
+        if selection[i] != 0 and multi:
+            cycles += rho
+        total += cycles / task.period
+    return total

@@ -1,0 +1,29 @@
+"""Design trade-off evaluation: exact and ε-approximate Pareto curves
+(thesis Chapter 4)."""
+
+from repro.pareto.front import ParetoPoint, dominates, is_eps_cover, pareto_filter
+from repro.pareto.inter import (
+    TaskCurve,
+    approx_utilization_curve,
+    exact_utilization_curve,
+)
+from repro.pareto.intra import (
+    CIOption,
+    approx_workload_curve,
+    exact_workload_curve,
+    gap_solve,
+)
+
+__all__ = [
+    "ParetoPoint",
+    "dominates",
+    "is_eps_cover",
+    "pareto_filter",
+    "TaskCurve",
+    "approx_utilization_curve",
+    "exact_utilization_curve",
+    "CIOption",
+    "approx_workload_curve",
+    "exact_workload_curve",
+    "gap_solve",
+]

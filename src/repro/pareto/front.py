@@ -1,0 +1,76 @@
+"""Pareto-front primitives for two-objective minimization.
+
+A design point is a ``(value, cost)`` pair where both coordinates are to be
+minimized (workload/utilization vs. hardware area).  Point *a* dominates *b*
+iff ``a.value <= b.value`` and ``a.cost <= b.cost`` with at least one strict.
+An ε-approximate Pareto curve ``P_eps`` of a curve ``P`` contains, for every
+``p in P``, a point ``q`` with ``q.value <= (1+eps) p.value`` and
+``q.cost <= (1+eps) p.cost`` (thesis Section 4.2.1, after Papadimitriou &
+Yannakakis [75]).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+__all__ = ["ParetoPoint", "dominates", "pareto_filter", "is_eps_cover"]
+
+EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One design point: (objective value, hardware cost, optional payload)."""
+
+    value: float
+    cost: float
+    choice: tuple = ()
+
+
+def dominates(a: ParetoPoint, b: ParetoPoint) -> bool:
+    """True if *a* dominates *b* (minimization in both coordinates)."""
+    return (
+        a.value <= b.value + EPS
+        and a.cost <= b.cost + EPS
+        and (a.value < b.value - EPS or a.cost < b.cost - EPS)
+    )
+
+
+def pareto_filter(points: Iterable[ParetoPoint]) -> list[ParetoPoint]:
+    """The undominated subset of *points*, sorted by increasing cost.
+
+    Duplicate coordinates collapse to a single representative.
+    """
+    pts = sorted(points, key=lambda p: (p.cost, p.value))
+    frontier: list[ParetoPoint] = []
+    for p in pts:
+        if not frontier:
+            frontier.append(p)
+            continue
+        last = frontier[-1]
+        if p.value < last.value - EPS:
+            if abs(p.cost - last.cost) <= EPS:
+                frontier[-1] = p
+            else:
+                frontier.append(p)
+    return frontier
+
+
+def is_eps_cover(
+    approx: Sequence[ParetoPoint], exact: Sequence[ParetoPoint], eps: float
+) -> bool:
+    """Check the ε-approximation property of *approx* w.r.t. *exact*.
+
+    For every exact point there must be an approximate point within a
+    ``(1 + eps)`` factor in both coordinates.
+    """
+    for p in exact:
+        covered = any(
+            q.value <= (1.0 + eps) * p.value + EPS
+            and q.cost <= (1.0 + eps) * p.cost + EPS
+            for q in approx
+        )
+        if not covered:
+            return False
+    return True

@@ -1,0 +1,178 @@
+"""Inter-task utilization-area Pareto curves (thesis Section 4.2.2).
+
+Input: per task ``T_i`` its workload-area Pareto curve
+``P_i = {(w_{i,k}, c_{i,k})}`` (from the intra-task stage) plus its period.
+A *global design configuration* picks exactly one curve point per task; its
+utilization is ``sum_i w_{i,k_i} / P_i`` and its cost ``sum_i c_{i,k_i}``.
+The exact utilization-area Pareto curve comes from the multi-choice DP of
+recursion (4.2); the ε-approximate curve applies the same geometric cost
+partition + cost-scaling GAP routine as the intra-task stage.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.pareto.front import ParetoPoint, pareto_filter
+
+__all__ = ["TaskCurve", "exact_utilization_curve", "approx_utilization_curve"]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class TaskCurve:
+    """One task's workload-area Pareto curve.
+
+    Attributes:
+        period: the task period ``P_i``.
+        workloads: curve point workloads ``w_{i,k}``.
+        areas: curve point integer hardware costs ``c_{i,k}``.
+    """
+
+    period: float
+    workloads: tuple[float, ...]
+    areas: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ReproError("period must be positive")
+        if len(self.workloads) != len(self.areas) or not self.workloads:
+            raise ReproError("workloads/areas must be non-empty and aligned")
+        if min(self.areas) < 0:
+            raise ReproError("areas must be non-negative")
+
+    @property
+    def utilizations(self) -> tuple[float, ...]:
+        return tuple(w / self.period for w in self.workloads)
+
+
+def _multichoice_dp(
+    tasks: Sequence[TaskCurve],
+    costs_per_task: Sequence[Sequence[int]],
+    cap: int,
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """DP over cost <= j: min total utilization picking one option per task.
+
+    Returns:
+        (best utilization array over 0..cap, per-task chosen-option arrays
+        for backtracking).
+    """
+    best = np.zeros(cap + 1)
+    picks: list[np.ndarray] = []
+    for curve, costs in zip(tasks, costs_per_task):
+        utils = curve.utilizations
+        new = np.full(cap + 1, _INF)
+        pick = np.zeros(cap + 1, dtype=np.int32)
+        for k, (u, c) in enumerate(zip(utils, costs)):
+            if c > cap:
+                continue
+            cand = np.full(cap + 1, _INF)
+            cand[c:] = best[: cap + 1 - c] + u
+            better = cand < new
+            new[better] = cand[better]
+            pick[better] = k
+        best = new
+        picks.append(pick)
+    return best, picks
+
+
+def _backtrack(
+    tasks: Sequence[TaskCurve],
+    costs_per_task: Sequence[Sequence[int]],
+    picks: list[np.ndarray],
+    j: int,
+) -> tuple[int, ...]:
+    choice: list[int] = [0] * len(tasks)
+    for i in range(len(tasks) - 1, -1, -1):
+        k = int(picks[i][j])
+        choice[i] = k
+        j -= costs_per_task[i][k]
+    return tuple(choice)
+
+
+def exact_utilization_curve(tasks: Sequence[TaskCurve]) -> list[ParetoPoint]:
+    """The exact utilization-area Pareto curve of a task set.
+
+    Returns:
+        Undominated ``(utilization, area)`` points; each point's ``choice``
+        holds the per-task curve-point indices realizing it.
+    """
+    if not tasks:
+        raise ReproError("need at least one task curve")
+    costs = [list(t.areas) for t in tasks]
+    cap = sum(max(c) for c in costs)
+    best, picks = _multichoice_dp(tasks, costs, cap)
+    points = []
+    for j in range(cap + 1):
+        if not math.isfinite(best[j]):
+            continue
+        points.append(
+            ParetoPoint(
+                value=float(best[j]),
+                cost=float(j),
+                choice=_backtrack(tasks, costs, picks, j),
+            )
+        )
+    return pareto_filter(points)
+
+
+def approx_utilization_curve(
+    tasks: Sequence[TaskCurve], eps: float
+) -> list[ParetoPoint]:
+    """ε-approximate utilization-area Pareto curve (Algorithm 3, stage 2)."""
+    if eps <= 0:
+        raise ReproError("eps must be positive")
+    if not tasks:
+        raise ReproError("need at least one task curve")
+    eps_prime = math.sqrt(1.0 + eps) - 1.0
+    n_options = sum(len(t.areas) for t in tasks)
+    total_cost = sum(max(t.areas) for t in tasks)
+    points: list[ParetoPoint] = []
+    # Zero-cost solution: every task at its cheapest (software) option.
+    u0 = 0.0
+    choice0 = []
+    for t in tasks:
+        k = min(range(len(t.areas)), key=lambda k: (t.areas[k], t.workloads[k]))
+        u0 += t.utilizations[k]
+        choice0.append(k)
+    points.append(ParetoPoint(value=u0, cost=0.0, choice=tuple(choice0)))
+    if total_cost == 0:
+        return pareto_filter(points)
+
+    r = math.ceil(n_options / eps_prime)
+    b = 1.0
+    coords: list[float] = []
+    while b <= total_cost:
+        coords.append(b)
+        b *= 1.0 + eps_prime
+    for coord in coords:
+        scaled = [
+            [math.ceil(a * r / coord) for a in t.areas] for t in tasks
+        ]
+        best, picks = _multichoice_dp(tasks, scaled, r)
+        j = int(np.argmin(best))
+        if not math.isfinite(best[j]):
+            continue
+        choice = _backtrack(tasks, scaled, picks, j)
+        # Report the solution's true cost (property (a) bounds it by coord).
+        true_cost = sum(t.areas[k] for t, k in zip(tasks, choice))
+        points.append(
+            ParetoPoint(value=float(best[j]), cost=float(true_cost), choice=choice)
+        )
+    # Exact full-cost corner: every task at its fastest option.
+    u_full, cost_full, choice_full = 0.0, 0.0, []
+    for t in tasks:
+        k = min(range(len(t.areas)), key=lambda k: (t.workloads[k], t.areas[k]))
+        u_full += t.utilizations[k]
+        cost_full += t.areas[k]
+        choice_full.append(k)
+    points.append(
+        ParetoPoint(value=u_full, cost=float(cost_full), choice=tuple(choice_full))
+    )
+    return pareto_filter(points)

@@ -1,0 +1,43 @@
+"""Runtime reconfiguration of custom instructions (thesis Chapter 6)."""
+
+from repro.reconfig.exhaustive import exhaustive_partition, set_partitions
+from repro.reconfig.extract import ExtractedLoops, extract_hot_loops
+from repro.reconfig.greedy import greedy_partition
+from repro.reconfig.iterative import PartitionSolution, iterative_partition
+from repro.reconfig.kwaypart import edge_cut, kway_partition
+from repro.reconfig.model import (
+    CISVersion,
+    HotLoop,
+    Partition,
+    count_reconfigurations,
+    net_gain,
+)
+from repro.reconfig.rcg import build_rcg
+from repro.reconfig.spatial import spatial_select
+from repro.reconfig.variants import (
+    iterative_partition_partial,
+    partial_net_gain,
+    temporal_only_partition,
+)
+
+__all__ = [
+    "ExtractedLoops",
+    "extract_hot_loops",
+    "iterative_partition_partial",
+    "partial_net_gain",
+    "temporal_only_partition",
+    "exhaustive_partition",
+    "set_partitions",
+    "greedy_partition",
+    "PartitionSolution",
+    "iterative_partition",
+    "edge_cut",
+    "kway_partition",
+    "CISVersion",
+    "HotLoop",
+    "Partition",
+    "count_reconfigurations",
+    "net_gain",
+    "build_rcg",
+    "spatial_select",
+]

@@ -1,0 +1,201 @@
+"""Hot-loop extraction: from a program model to the Chapter 6 inputs.
+
+Implements the front half of the thesis system design flow (Figure 6.3):
+
+* **hot loop detection** — loops whose body consumes at least a fraction
+  (default 1%) of the program's profile cycles;
+* **CIS version generation** — per hot loop, candidate enumeration +
+  greedy-prefix selection over the loop body's basic blocks produces the
+  (area, gain) version curve, with gains scaled by the loop's total
+  execution count (so version gains are program-level cycle savings, as
+  the partitioning algorithms expect);
+* **loop trace generation** — the execution sequence of hot loops per
+  program run, derived from the syntax tree (loops inside loops repeat
+  according to the enclosing average trip counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.enumeration.mimo import enumerate_connected
+from repro.enumeration.patterns import make_candidate
+from repro.graphs.program import Block, IfElse, Loop, Program, Seq
+from repro.isa.costmodel import DEFAULT_COST_MODEL, HardwareCostModel
+from repro.reconfig.model import CISVersion, HotLoop
+from repro.selection.greedy import select_greedy
+
+__all__ = ["ExtractedLoops", "extract_hot_loops"]
+
+
+@dataclass(frozen=True)
+class ExtractedLoops:
+    """Chapter 6 inputs derived from one program.
+
+    Attributes:
+        loops: hot loops with generated CIS version curves.
+        trace: per-run execution sequence of hot-loop indices.
+        coverage: fraction of profile cycles inside the hot loops.
+    """
+
+    loops: tuple[HotLoop, ...]
+    trace: tuple[int, ...]
+    coverage: float
+
+
+def _collect_loops(node, enclosing_trips: float, acc: list[tuple[Loop, float]]):
+    if isinstance(node, Loop):
+        acc.append((node, enclosing_trips))
+        _collect_loops(node.body, enclosing_trips * float(node.avg_trip), acc)
+    elif isinstance(node, Seq):
+        for child in node.children:
+            _collect_loops(child, enclosing_trips, acc)
+    elif isinstance(node, IfElse):
+        _collect_loops(node.then_branch, enclosing_trips * node.taken_prob, acc)
+        _collect_loops(
+            node.else_branch, enclosing_trips * (1.0 - node.taken_prob), acc
+        )
+
+
+def _own_blocks(node) -> list[Block]:
+    """Blocks directly under *node*, not nested inside inner loops."""
+    if isinstance(node, Block):
+        return [node]
+    if isinstance(node, Seq):
+        out: list[Block] = []
+        for child in node.children:
+            out.extend(_own_blocks(child))
+        return out
+    if isinstance(node, IfElse):
+        return _own_blocks(node.then_branch) + _own_blocks(node.else_branch)
+    return []  # a nested Loop owns its blocks itself
+
+
+def _loop_body_cycles(loop: Loop) -> float:
+    return sum(b.dfg.sw_cycles() for b in _own_blocks(loop.body))
+
+
+def _versions_for_loop(
+    loop: Loop,
+    executions: float,
+    max_inputs: int,
+    max_outputs: int,
+    max_versions: int,
+    model: HardwareCostModel,
+) -> tuple[CISVersion, ...]:
+    """Generate the (area, gain) version curve of one loop body."""
+    candidates = []
+    for block in _own_blocks(loop.body):
+        node_sets = enumerate_connected(
+            block.dfg,
+            max_inputs=max_inputs,
+            max_outputs=max_outputs,
+            max_size=10,
+            max_candidates=400,
+        )
+        for nodes in node_sets:
+            cand = make_candidate(
+                block.dfg, nodes, frequency=executions, model=model
+            )
+            if cand.total_gain > 0:
+                candidates.append(cand)
+    # Candidates from different blocks never conflict; block_index is 0 for
+    # all of them here, so conflicts within a block are still honoured.
+    order = select_greedy(candidates, float("inf"))
+    versions = [CISVersion(area=0.0, gain=0.0)]
+    area = gain = 0.0
+    for i in order:
+        area += candidates[i].area
+        gain += candidates[i].total_gain
+        versions.append(CISVersion(area=area, gain=gain))
+    if len(versions) > max_versions:
+        # Keep the software version, then an even spread ending at the best.
+        idx = {0, len(versions) - 1}
+        for k in range(1, max_versions - 1):
+            idx.add(round(k * (len(versions) - 1) / (max_versions - 1)))
+        versions = [versions[i] for i in sorted(idx)]
+    return tuple(versions)
+
+
+def _emit_trace(node, hot_ids: dict[int, int], acc: list[int], depth_cap: int):
+    """Walk the syntax tree emitting hot-loop visits (bounded unrolling)."""
+    if isinstance(node, Loop):
+        reps = min(int(round(node.avg_trip)), depth_cap)
+        body_has_hot = any(
+            id(lp) in hot_ids for lp, _ in _loops_below(node.body)
+        )
+        if id(node) in hot_ids:
+            if body_has_hot:
+                for _ in range(max(1, reps)):
+                    acc.append(hot_ids[id(node)])
+                    _emit_trace(node.body, hot_ids, acc, depth_cap)
+            else:
+                acc.append(hot_ids[id(node)])
+        else:
+            for _ in range(max(1, min(reps, 3)) if body_has_hot else 0):
+                _emit_trace(node.body, hot_ids, acc, depth_cap)
+    elif isinstance(node, Seq):
+        for child in node.children:
+            _emit_trace(child, hot_ids, acc, depth_cap)
+    elif isinstance(node, IfElse):
+        branch = node.then_branch if node.taken_prob >= 0.5 else node.else_branch
+        _emit_trace(branch, hot_ids, acc, depth_cap)
+
+
+def _loops_below(node) -> list[tuple[Loop, float]]:
+    acc: list[tuple[Loop, float]] = []
+    _collect_loops(node, 1.0, acc)
+    return acc
+
+
+def extract_hot_loops(
+    program: Program,
+    hot_threshold: float = 0.01,
+    max_inputs: int = 4,
+    max_outputs: int = 2,
+    max_versions: int = 8,
+    trace_unroll_cap: int = 8,
+    model: HardwareCostModel = DEFAULT_COST_MODEL,
+) -> ExtractedLoops:
+    """Derive hot loops, CIS versions and a loop trace from *program*.
+
+    Args:
+        program: the application's program model.
+        hot_threshold: minimum fraction of profile cycles for a loop.
+        max_inputs / max_outputs: register-port constraints.
+        max_versions: version-curve length cap per loop.
+        trace_unroll_cap: bound on per-loop repetitions emitted into the
+            trace (keeps traces compact, like the thesis's compressed
+            traces).
+        model: hardware cost model.
+
+    Returns:
+        An :class:`ExtractedLoops` bundle.
+    """
+    total = program.avg_cycles()
+    all_loops = _loops_below(program.root)
+    hot: list[tuple[Loop, float, float]] = []  # (loop, executions, cycles)
+    for loop, enclosing in all_loops:
+        executions = enclosing * float(loop.avg_trip)
+        cycles = executions * _loop_body_cycles(loop)
+        if total > 0 and cycles / total >= hot_threshold:
+            hot.append((loop, executions, cycles))
+    hot.sort(key=lambda x: -x[2])
+
+    loops: list[HotLoop] = []
+    hot_ids: dict[int, int] = {}
+    covered = 0.0
+    for rank, (loop, executions, cycles) in enumerate(hot):
+        versions = _versions_for_loop(
+            loop, executions, max_inputs, max_outputs, max_versions, model
+        )
+        loops.append(HotLoop(name=f"{program.name}:loop{rank}", versions=versions))
+        hot_ids[id(loop)] = rank
+        covered += cycles
+
+    trace: list[int] = []
+    _emit_trace(program.root, hot_ids, trace, trace_unroll_cap)
+    coverage = covered / total if total > 0 else 0.0
+    return ExtractedLoops(
+        loops=tuple(loops), trace=tuple(trace), coverage=min(1.0, coverage)
+    )

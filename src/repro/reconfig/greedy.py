@@ -1,0 +1,92 @@
+"""Greedy partitioning baseline (thesis Algorithm 8).
+
+Builds the solution one configuration at a time: repeatedly pick the CIS
+version with the maximum *expected* positive gain — its raw gain minus the
+additional reconfiguration cost its loop would incur if appended to the
+configuration under construction — until no version helps; then freeze the
+configuration and start a new one.  Terminates when even an empty new
+configuration cannot host a profitable version.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.reconfig.iterative import PartitionSolution, _evaluate
+from repro.reconfig.model import HotLoop, count_reconfigurations
+
+__all__ = ["greedy_partition"]
+
+
+def _extra_reconfig_cost(
+    trace: Sequence[int],
+    config_of: dict[int, int],
+    hw: set[int],
+    loop: int,
+    cfg: int,
+    rho: float,
+) -> float:
+    """Reconfiguration cost increase of adding *loop* to configuration *cfg*."""
+    before = count_reconfigurations(trace, config_of, hw)
+    trial = dict(config_of)
+    trial[loop] = cfg
+    after = count_reconfigurations(trace, trial, hw | {loop})
+    return (after - before) * rho
+
+
+def greedy_partition(
+    loops: Sequence[HotLoop],
+    trace: Sequence[int],
+    max_area: float,
+    rho: float,
+) -> PartitionSolution:
+    """Run Algorithm 8.
+
+    Args:
+        loops: hot loops with CIS versions.
+        trace: loop trace.
+        max_area: hardware area of one configuration.
+        rho: cost of one reconfiguration.
+
+    Returns:
+        The greedy :class:`PartitionSolution`.
+    """
+    n = len(loops)
+    selection = [0] * n
+    config_of: dict[int, int] = {}
+    hw: set[int] = set()
+    current_cfg = 0
+    current_area_left = max_area
+    current_empty = True
+    unselected = set(range(n))
+
+    while True:
+        best: tuple[float, int, int] | None = None  # (expected gain, loop, version)
+        for i in sorted(unselected):
+            extra = _extra_reconfig_cost(
+                trace, config_of, hw, i, current_cfg, rho
+            )
+            for j, v in enumerate(loops[i].versions):
+                if j == 0 or v.area > current_area_left:
+                    continue
+                expected = v.gain - extra
+                if expected > 0 and (best is None or expected > best[0]):
+                    best = (expected, i, j)
+        if best is None:
+            if not current_empty:
+                # Freeze the configuration and start a new, empty one.
+                current_cfg += 1
+                current_area_left = max_area
+                current_empty = True
+                continue
+            break
+        _, i, j = best
+        selection[i] = j
+        config_of[i] = current_cfg
+        hw.add(i)
+        unselected.discard(i)
+        current_area_left -= loops[i].versions[j].area
+        current_empty = False
+
+    full_config = [config_of.get(i, 0) for i in range(n)]
+    return _evaluate(loops, selection, full_config, trace, rho)

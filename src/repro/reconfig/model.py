@@ -1,0 +1,138 @@
+"""Data model for runtime reconfiguration of custom instructions (Ch. 6).
+
+An application is reduced to its *hot loops* (loops consuming >= ~1% of
+execution time, found by profiling).  Each hot loop ``l_i`` carries multiple
+*custom-instruction-set versions* ``l_{i,j}`` trading hardware area for
+performance gain; version 0 is always the pure-software version
+``(area=0, gain=0)``.  The control flow among hot loops is a *loop trace*
+(the execution sequence of the loops).  A solution assigns each loop one
+version and each hardware-accelerated loop one *configuration*; the CFU
+fabric holds one configuration at a time and swapping configurations costs
+``rho`` cycles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = ["CISVersion", "HotLoop", "Partition", "count_reconfigurations", "net_gain"]
+
+
+@dataclass(frozen=True)
+class CISVersion:
+    """One custom-instruction-set version of a hot loop."""
+
+    area: float
+    gain: float
+
+    def __post_init__(self) -> None:
+        if self.area < 0 or self.gain < 0:
+            raise ReproError("area and gain must be non-negative")
+
+
+@dataclass(frozen=True)
+class HotLoop:
+    """A hot loop with its CIS version trade-off curve.
+
+    Attributes:
+        name: loop label.
+        versions: version 0 must be the software version (0 area, 0 gain);
+            later versions typically increase in both area and gain.
+    """
+
+    name: str
+    versions: tuple[CISVersion, ...]
+
+    def __post_init__(self) -> None:
+        if not self.versions:
+            raise ReproError(f"loop {self.name!r} needs at least one version")
+        v0 = self.versions[0]
+        if v0.area != 0 or v0.gain != 0:
+            raise ReproError(
+                f"loop {self.name!r}: version 0 must be the software version"
+            )
+
+    @property
+    def n_versions(self) -> int:
+        return len(self.versions)
+
+    @property
+    def best_version(self) -> int:
+        """Index of the highest-gain version."""
+        return max(range(len(self.versions)), key=lambda j: self.versions[j].gain)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A complete solution of the partitioning problem.
+
+    Attributes:
+        selection: version index per loop (0 = software).
+        config_of: configuration id per loop; loops with version 0 are
+            ignored (use any value).  Configuration ids need not be dense.
+    """
+
+    selection: tuple[int, ...]
+    config_of: tuple[int, ...]
+
+    def hardware_loops(self) -> list[int]:
+        return [i for i, j in enumerate(self.selection) if j != 0]
+
+    def n_configurations(self) -> int:
+        return len({self.config_of[i] for i in self.hardware_loops()})
+
+
+def count_reconfigurations(
+    trace: Sequence[int],
+    config_of: Mapping[int, int] | Sequence[int],
+    hardware: Iterable[int],
+) -> int:
+    """Number of fabric reconfigurations over a loop trace.
+
+    Software loops are transparent (they do not touch the fabric).  The
+    first configuration load is not counted, matching the edge-cut model of
+    the reconfiguration-cost graph (thesis Figure 6.4 computes the cost of
+    the three-configuration solution as the sum of crossing-edge weights).
+
+    Args:
+        trace: execution sequence of loop indices.
+        config_of: configuration id per loop index.
+        hardware: loop indices implemented in hardware.
+
+    Returns:
+        The count of configuration switches.
+    """
+    hw = set(hardware)
+    current: int | None = None
+    switches = 0
+    for loop in trace:
+        if loop not in hw:
+            continue
+        cfg = config_of[loop]
+        if current is not None and cfg != current:
+            switches += 1
+        current = cfg
+    return switches
+
+
+def net_gain(
+    loops: Sequence[HotLoop],
+    partition: Partition,
+    trace: Sequence[int],
+    rho: float,
+) -> float:
+    """Net performance gain of a solution (thesis Equation 6.1).
+
+    ``sum of selected version gains - (#reconfigurations) x rho``.
+    """
+    if len(partition.selection) != len(loops):
+        raise ReproError("selection length must match loop count")
+    gain = sum(
+        loops[i].versions[j].gain for i, j in enumerate(partition.selection)
+    )
+    hw = partition.hardware_loops()
+    r = count_reconfigurations(trace, partition.config_of, hw)
+    return gain - r * rho

@@ -1,0 +1,42 @@
+"""Reconfiguration Cost Graph (RCG) construction (thesis Section 6.3.3).
+
+Vertices are the hot loops selected for hardware acceleration; software
+loops are elided from the loop trace first, so control transfers passing
+*through* a software loop connect its hardware neighbours directly (thesis
+Figure 6.6).  The edge weight between loops ``l`` and ``l'`` is the number
+of direct transitions between them in the elided trace — exactly the number
+of reconfigurations paid if the two loops land in different configurations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["build_rcg"]
+
+
+def build_rcg(
+    trace: Sequence[int], hardware: Iterable[int]
+) -> dict[tuple[int, int], int]:
+    """Build the RCG edge-weight map.
+
+    Args:
+        trace: execution sequence of loop indices.
+        hardware: loop indices implemented in hardware (RCG vertices).
+
+    Returns:
+        Mapping from undirected edge ``(min, max)`` to transition count.
+        Self-transitions (same loop twice in a row) carry no cost and are
+        omitted.
+    """
+    hw = set(hardware)
+    edges: dict[tuple[int, int], int] = {}
+    prev: int | None = None
+    for loop in trace:
+        if loop not in hw:
+            continue
+        if prev is not None and loop != prev:
+            key = (min(prev, loop), max(prev, loop))
+            edges[key] = edges.get(key, 0) + 1
+        prev = loop
+    return edges

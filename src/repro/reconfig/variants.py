@@ -1,0 +1,123 @@
+"""Architecture variants: temporal-only and partial reconfiguration.
+
+The thesis's taxonomy (Section 2.1, Figure 2.2) spans four extensible-
+processor architectures.  Chapter 6 targets (c) temporal+spatial
+reconfiguration; this module adds the two neighbouring points so their
+cost/benefit can be compared on the same workloads:
+
+* **temporal-only** (Figure 2.2(b), e.g. PRISC/OneChip) — a configuration
+  holds exactly one custom-instruction set; no spatial sharing, so any
+  alternation between two hardware loops pays a reconfiguration;
+* **partial reconfiguration** (Figure 2.2(d), e.g. DISC/XiRisc) — only the
+  incoming configuration's area is (re)loaded, so the per-switch cost is
+  proportional to the loaded area instead of a fabric-wide constant.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.reconfig.iterative import (
+    PartitionSolution,
+    _evaluate,
+    _prune_to_software,
+    iterative_partition,
+)
+from repro.reconfig.model import HotLoop, Partition
+
+__all__ = [
+    "temporal_only_partition",
+    "partial_net_gain",
+    "iterative_partition_partial",
+]
+
+
+def temporal_only_partition(
+    loops: Sequence[HotLoop],
+    trace: Sequence[int],
+    max_area: float,
+    rho: float,
+) -> PartitionSolution:
+    """Best solution when every configuration holds exactly one loop.
+
+    Each loop picks its best version fitting the fabric; the software-
+    demotion pass then drops loops whose alternation cost exceeds their
+    gain (with one loop per configuration, every transition between two
+    distinct hardware loops reconfigures).
+    """
+    n = len(loops)
+    selection = [0] * n
+    for i, lp in enumerate(loops):
+        best_j, best_gain = 0, 0.0
+        for j, v in enumerate(lp.versions):
+            if j == 0 or v.area > max_area:
+                continue
+            if v.gain > best_gain:
+                best_j, best_gain = j, v.gain
+        selection[i] = best_j
+    config_of = list(range(n))  # one configuration per loop
+    _prune_to_software(loops, selection, config_of, trace, rho)
+    return _evaluate(loops, selection, config_of, trace, rho)
+
+
+def partial_net_gain(
+    loops: Sequence[HotLoop],
+    partition: Partition,
+    trace: Sequence[int],
+    rho_per_area: float,
+) -> float:
+    """Net gain under the partial-reconfiguration cost model.
+
+    Each switch into configuration ``c`` costs
+    ``rho_per_area x (area of c's resident versions)``; the first load is
+    free (edge-cut convention, matching the constant-cost model).
+    """
+    gain = sum(
+        loops[i].versions[j].gain for i, j in enumerate(partition.selection)
+    )
+    hw = set(partition.hardware_loops())
+    config_area: dict[int, float] = {}
+    for i in hw:
+        cfg = partition.config_of[i]
+        config_area[cfg] = (
+            config_area.get(cfg, 0.0)
+            + loops[i].versions[partition.selection[i]].area
+        )
+    cost = 0.0
+    current: int | None = None
+    for loop in trace:
+        if loop not in hw:
+            continue
+        cfg = partition.config_of[loop]
+        if current is not None and cfg != current:
+            cost += rho_per_area * config_area[cfg]
+        current = cfg
+    return gain - cost
+
+
+def iterative_partition_partial(
+    loops: Sequence[HotLoop],
+    trace: Sequence[int],
+    max_area: float,
+    rho_per_area: float,
+    seed: int = 0,
+) -> tuple[PartitionSolution, float]:
+    """Partitioning for a partially reconfigurable fabric.
+
+    Runs the constant-cost iterative partitioner at several effective
+    per-switch costs (fractions of ``rho_per_area x max_area``) and keeps
+    the candidate that scores best under the exact partial-cost model.
+
+    Returns:
+        (the chosen solution, its partial-model net gain).
+    """
+    best_sol: PartitionSolution | None = None
+    best_gain = float("-inf")
+    for fraction in (0.25, 0.5, 0.75, 1.0):
+        effective_rho = rho_per_area * max_area * fraction
+        sol = iterative_partition(loops, trace, max_area, effective_rho, seed=seed)
+        gain = partial_net_gain(loops, sol.partition, trace, rho_per_area)
+        if gain > best_gain:
+            best_sol, best_gain = sol, gain
+    assert best_sol is not None
+    return best_sol, best_gain

@@ -1,0 +1,78 @@
+"""Plain-text reporting helpers for customization results.
+
+Produces the aligned tables and ASCII sparklines used by the CLI and the
+examples — no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "sparkline", "format_curve"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render rows as a monospace table with right-aligned numeric cells."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(c))
+            else:
+                widths.append(len(c))
+
+    def align(value: str, i: int, raw: object) -> str:
+        if isinstance(raw, (int, float)):
+            return value.rjust(widths[i])
+        return value.ljust(widths[i])
+
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths[: len(headers)]),
+    ]
+    for raw_row, row in zip(rows, cells):
+        lines.append(
+            "  ".join(align(c, i, raw_row[i]) for i, c in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a numeric series as a Unicode sparkline."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi - lo < 1e-12:
+        return _SPARK_CHARS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_CHARS) - 1) + 0.5)
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def format_curve(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A two-column table plus a sparkline of the y series."""
+    table = format_table([x_label, y_label], list(zip(xs, ys)))
+    return f"{table}\n{y_label}: {sparkline(list(ys))}"

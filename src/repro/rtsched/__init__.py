@@ -1,0 +1,51 @@
+"""Real-time scheduling substrate (tasks, EDF/RMS analysis, simulation, energy)."""
+
+from repro.rtsched.dbf import (
+    deadline_points,
+    demand_bound,
+    edf_constrained_schedulable,
+)
+from repro.rtsched.edf import edf_schedulable, edf_schedulable_assignment
+from repro.rtsched.response_time import response_time, rta_schedulable
+from repro.rtsched.energy import (
+    TM5400_POINTS,
+    OperatingPoint,
+    energy_improvement,
+    energy_rate,
+    hyperperiod_energy,
+    lowest_feasible_point,
+)
+from repro.rtsched.rms import (
+    rms_points,
+    rms_schedulable,
+    rms_schedulable_costs,
+    rms_task_load,
+)
+from repro.rtsched.simulator import SimulationResult, simulate, simulate_taskset
+from repro.rtsched.task import PeriodicTask, TaskSet, scale_periods_for_utilization
+
+__all__ = [
+    "deadline_points",
+    "demand_bound",
+    "edf_constrained_schedulable",
+    "response_time",
+    "rta_schedulable",
+    "edf_schedulable",
+    "edf_schedulable_assignment",
+    "TM5400_POINTS",
+    "OperatingPoint",
+    "energy_improvement",
+    "energy_rate",
+    "hyperperiod_energy",
+    "lowest_feasible_point",
+    "rms_points",
+    "rms_schedulable",
+    "rms_schedulable_costs",
+    "rms_task_load",
+    "SimulationResult",
+    "simulate",
+    "simulate_taskset",
+    "PeriodicTask",
+    "TaskSet",
+    "scale_periods_for_utilization",
+]

@@ -1,0 +1,27 @@
+"""Earliest-deadline-first (EDF) schedulability analysis.
+
+For independent preemptable periodic tasks with deadlines equal to periods,
+EDF is optimal and the exact schedulability condition is the utilization
+bound ``U <= 1`` (Liu & Layland [70]; thesis Equation 3.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.rtsched.task import TaskSet
+
+__all__ = ["edf_schedulable", "edf_schedulable_assignment"]
+
+#: Numerical slack for utilization comparisons.
+EPS = 1e-9
+
+
+def edf_schedulable(task_set: TaskSet) -> bool:
+    """True if the software-only task set is schedulable under EDF."""
+    return task_set.utilization <= 1.0 + EPS
+
+
+def edf_schedulable_assignment(task_set: TaskSet, assignment: Sequence[int]) -> bool:
+    """True if the task set with a configuration assignment is EDF-schedulable."""
+    return task_set.utilization_for(assignment) <= 1.0 + EPS

@@ -1,0 +1,202 @@
+"""Static voltage scaling and energy estimation (thesis Section 3.2.2).
+
+A lower processor utilization lets static voltage scaling (Pillai & Shin
+[79]) pick a lower operating frequency/voltage pair while preserving
+schedulability.  The thesis evaluates on the Transmeta TM5400 whose LongRun
+operating points span 300 MHz @ 1.2 V to 633 MHz @ 1.6 V; task cycle counts
+are fixed, so at frequency ``f`` the *time* utilization of a task set scales
+by ``f_max / f``.
+
+Schedulability conditions used by the static scaling algorithm, per [79]:
+
+* EDF: ``U x f_max / f <= 1`` (exact);
+* RMS: ``U x f_max / f <= n (2^{1/n} - 1)`` (Liu-Layland, sufficient but not
+  necessary — the thesis notes this conservatism explains EDF's larger
+  energy savings in Figure 3.4).
+
+Energy over a hyperperiod ``H`` (in cycles at ``f_max``):
+``E = V^2 x (executed cycles) + beta x V x H x (f / f_max)`` — a dynamic
+``C V^2`` term per executed cycle plus a small leakage term over time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ScheduleError
+from repro.rtsched.task import TaskSet
+
+__all__ = [
+    "OperatingPoint",
+    "TM5400_POINTS",
+    "lowest_feasible_point",
+    "hyperperiod_energy",
+    "energy_rate",
+    "energy_improvement",
+]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One frequency/voltage operating point."""
+
+    mhz: float
+    volt: float
+
+
+#: Transmeta TM5400-style LongRun table, 300 MHz @ 1.2 V .. 633 MHz @ 1.6 V
+#: (thesis Section 3.2.2).
+TM5400_POINTS: tuple[OperatingPoint, ...] = (
+    OperatingPoint(300.0, 1.20),
+    OperatingPoint(366.0, 1.30),
+    OperatingPoint(433.0, 1.35),
+    OperatingPoint(500.0, 1.40),
+    OperatingPoint(566.0, 1.50),
+    OperatingPoint(633.0, 1.60),
+)
+
+
+def _rms_llbound(n: int) -> float:
+    return n * (2.0 ** (1.0 / n) - 1.0)
+
+
+def lowest_feasible_point(
+    utilization: float,
+    n_tasks: int,
+    policy: str = "edf",
+    points: Sequence[OperatingPoint] = TM5400_POINTS,
+) -> OperatingPoint | None:
+    """Lowest operating point keeping the task set schedulable.
+
+    Args:
+        utilization: cycle utilization at maximum frequency.
+        n_tasks: number of tasks (for the RMS Liu-Layland bound).
+        policy: ``"edf"`` or ``"rms"``.
+        points: available operating points (any order).
+
+    Returns:
+        The slowest feasible :class:`OperatingPoint`, or None if even the
+        fastest point cannot schedule the set.
+    """
+    if policy == "edf":
+        bound = 1.0
+    elif policy == "rms":
+        bound = _rms_llbound(n_tasks)
+    else:
+        raise ScheduleError(f"unknown policy {policy!r}; use 'edf' or 'rms'")
+    f_max = max(p.mhz for p in points)
+    for p in sorted(points, key=lambda p: p.mhz):
+        if utilization * f_max / p.mhz <= bound + 1e-9:
+            return p
+    return None
+
+
+def hyperperiod_energy(
+    task_set: TaskSet,
+    assignment: Sequence[int] | None,
+    point: OperatingPoint,
+    points: Sequence[OperatingPoint] = TM5400_POINTS,
+    leakage_beta: float = 0.05,
+) -> float:
+    """Energy consumed over one hyperperiod at an operating point.
+
+    Args:
+        task_set: the tasks (integral periods required).
+        assignment: configuration choice per task (None = software).
+        point: the operating point in use.
+        points: the platform table (to find ``f_max``).
+        leakage_beta: weight of the leakage (static) term.
+
+    Returns:
+        Energy in arbitrary (consistent) units.
+    """
+    tasks = task_set.tasks
+    if assignment is None:
+        costs = [t.wcet for t in tasks]
+    else:
+        costs = [t.configurations[j].cycles for t, j in zip(tasks, assignment)]
+    hyper = task_set.hyperperiod()
+    executed = sum(c * (hyper / t.period) for c, t in zip(costs, tasks))
+    f_max = max(p.mhz for p in points)
+    dynamic = point.volt**2 * executed
+    # Wall-clock length of the hyperperiod grows as the frequency drops.
+    leakage = leakage_beta * point.volt * hyper * (f_max / point.mhz)
+    return dynamic + leakage
+
+
+def energy_rate(
+    task_set: TaskSet,
+    assignment: Sequence[int] | None,
+    point: OperatingPoint,
+    points: Sequence[OperatingPoint] = TM5400_POINTS,
+    leakage_beta: float = 0.05,
+) -> float:
+    """Average power (energy per unit time) at an operating point.
+
+    The dynamic term is ``V^2 x (cycles executed per unit time)``; the
+    leakage term grows as the clock slows (relative wall time per cycle).
+    Unlike :func:`hyperperiod_energy` this does not require integral
+    periods — comparisons over a common horizon use the same rate.
+    """
+    tasks = task_set.tasks
+    if assignment is None:
+        costs = [t.wcet for t in tasks]
+    else:
+        costs = [t.configurations[j].cycles for t, j in zip(tasks, assignment)]
+    cycles_per_time = sum(c / t.period for c, t in zip(costs, tasks))
+    f_max = max(p.mhz for p in points)
+    dynamic = point.volt**2 * cycles_per_time
+    leakage = leakage_beta * point.volt * (f_max / point.mhz)
+    return dynamic + leakage
+
+
+def energy_improvement(
+    task_set: TaskSet,
+    baseline_assignment: Sequence[int] | None,
+    custom_assignment: Sequence[int],
+    policy: str = "edf",
+    points: Sequence[OperatingPoint] = TM5400_POINTS,
+    leakage_beta: float = 0.05,
+) -> float | None:
+    """Percent energy reduction of a customization, with voltage scaling.
+
+    Both the baseline and the customized system independently pick their
+    lowest feasible operating point; energies are compared over the
+    hyperperiod.  If the baseline is unschedulable even at full speed, the
+    comparison baseline is the *first schedulable* configuration per the
+    thesis ("we perform the comparison w.r.t. the first schedulable
+    solution") — here: the customized assignment at maximum frequency.
+
+    Returns:
+        Percent improvement in [0, 100), or None if the customized set is
+        unschedulable at every operating point.
+    """
+    n = len(task_set)
+    u_custom = task_set.utilization_for(custom_assignment)
+    p_custom = lowest_feasible_point(u_custom, n, policy, points)
+    if p_custom is None:
+        return None
+    e_custom = energy_rate(
+        task_set, custom_assignment, p_custom, points, leakage_beta
+    )
+
+    if baseline_assignment is None:
+        u_base = task_set.utilization
+    else:
+        u_base = task_set.utilization_for(baseline_assignment)
+    p_base = lowest_feasible_point(u_base, n, policy, points)
+    if p_base is None:
+        # Baseline unschedulable: compare against the customized system
+        # running at the fastest operating point (no scaling benefit).
+        fastest = max(points, key=lambda p: p.mhz)
+        e_base = energy_rate(
+            task_set, custom_assignment, fastest, points, leakage_beta
+        )
+    else:
+        e_base = energy_rate(
+            task_set, baseline_assignment, p_base, points, leakage_beta
+        )
+    if e_base <= 0:
+        return 0.0
+    return max(0.0, 100.0 * (1.0 - e_custom / e_base))

@@ -1,0 +1,107 @@
+"""Exact rate-monotonic (RMS) schedulability analysis.
+
+Implements Theorem 1 of thesis Section 3.1.4 (the Bini-Buttazzo exact test
+[12]).  Tasks are sorted by increasing period.  Task ``T_i`` is schedulable
+under RMS iff::
+
+    L_i = min_{t in S_{i-1}(P_i)}  ( sum_{j<=i} ceil(t / P_j) C_j ) / t  <= 1
+
+where the schedulability-point sets are defined by the double recurrence::
+
+    S_0(t) = {t}
+    S_i(t) = S_{i-1}( floor(t / P_i) P_i )  union  S_{i-1}(t)
+
+The entire task set is schedulable iff ``max_i L_i <= 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.rtsched.task import TaskSet
+
+__all__ = ["rms_points", "rms_task_load", "rms_schedulable", "rms_schedulable_costs"]
+
+EPS = 1e-9
+
+
+def rms_points(periods: Sequence[float], i: int, t: float) -> set[float]:
+    """The schedulability-point set ``S_i(t)`` for the given periods.
+
+    Args:
+        periods: task periods, sorted by increasing value.
+        i: recursion depth (uses periods ``P_1 .. P_i``, 1-based).
+        t: the time point.
+
+    Returns:
+        The (deduplicated) set of points.  Worst-case cardinality is ``2^i``
+        but overlaps collapse it in practice (thesis remark after Theorem 1).
+    """
+    if i == 0:
+        return {t}
+    p = periods[i - 1]
+    floored = math.floor(t / p + EPS) * p
+    points = rms_points(periods, i - 1, t)
+    if floored > EPS:
+        points = points | rms_points(periods, i - 1, floored)
+    return points
+
+
+def rms_task_load(
+    periods: Sequence[float], costs: Sequence[float], i: int
+) -> float:
+    """The minimum load factor ``L_i`` of task ``T_i`` (0-based index).
+
+    Args:
+        periods: periods sorted increasingly (highest priority first).
+        costs: execution times aligned with *periods*.
+        i: task index, 0-based.
+
+    Returns:
+        ``L_i``; the task is RMS-schedulable iff the value is <= 1.
+    """
+    target = periods[i]
+    candidates = rms_points(periods, i, target)
+    best = math.inf
+    for t in candidates:
+        if t <= EPS:
+            continue
+        demand = 0.0
+        for j in range(i + 1):
+            demand += math.ceil(t / periods[j] - EPS) * costs[j]
+        best = min(best, demand / t)
+    return best
+
+
+def rms_schedulable_costs(
+    periods: Sequence[float], costs: Sequence[float]
+) -> bool:
+    """Exact RMS schedulability for raw (period, cost) arrays.
+
+    Arrays need not be pre-sorted; they are sorted by period here.
+    """
+    order = sorted(range(len(periods)), key=lambda k: periods[k])
+    p = [periods[k] for k in order]
+    c = [costs[k] for k in order]
+    for i in range(len(p)):
+        if rms_task_load(p, c, i) > 1.0 + EPS:
+            return False
+    return True
+
+
+def rms_schedulable(task_set: TaskSet, assignment: Sequence[int] | None = None) -> bool:
+    """Exact RMS schedulability of a task set.
+
+    Args:
+        task_set: the task set.
+        assignment: optional per-task configuration choice; defaults to the
+            software configuration for every task.
+    """
+    tasks = task_set.tasks
+    if assignment is None:
+        costs = [t.wcet for t in tasks]
+    else:
+        costs = [t.configurations[j].cycles for t, j in zip(tasks, assignment)]
+    periods = [t.period for t in tasks]
+    return rms_schedulable_costs(periods, costs)

@@ -1,0 +1,187 @@
+"""Periodic task model for multi-tasking real-time systems.
+
+Thesis Section 3.1.1: a task set of N independent, preemptable, periodic
+tasks on a uniprocessor.  Task ``T_i`` has period ``P_i`` (deadline equals
+the period) and worst-case execution time ``C_i``.  Each task additionally
+carries a list of custom-instruction-enhanced *configurations*
+``config_{i,j} = (area_{i,j}, cycle_{i,j})``; configuration 0 is always the
+pure-software version with ``area = 0`` and ``cycles = C_i``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ScheduleError
+from repro.selection.config_curve import TaskConfiguration
+
+__all__ = ["PeriodicTask", "TaskSet", "scale_periods_for_utilization"]
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """One periodic hard real-time task.
+
+    Attributes:
+        name: task label (benchmark name).
+        period: inter-release time; the deadline equals the period.
+        wcet: worst-case execution time without custom instructions.
+        configurations: the (area, cycles) trade-off curve; element 0 must be
+            the software configuration (area 0, cycles == wcet).
+    """
+
+    name: str
+    period: float
+    wcet: float
+    configurations: tuple[TaskConfiguration, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ScheduleError(f"task {self.name!r}: period must be positive")
+        if self.wcet <= 0:
+            raise ScheduleError(f"task {self.name!r}: wcet must be positive")
+        if self.configurations:
+            first = self.configurations[0]
+            if first.area != 0:
+                raise ScheduleError(
+                    f"task {self.name!r}: configuration 0 must have zero area"
+                )
+            if abs(first.cycles - self.wcet) > 1e-6 * max(1.0, self.wcet):
+                raise ScheduleError(
+                    f"task {self.name!r}: configuration 0 cycles must equal wcet"
+                )
+        else:
+            object.__setattr__(
+                self,
+                "configurations",
+                (TaskConfiguration(area=0.0, cycles=float(self.wcet)),),
+            )
+
+    @property
+    def utilization(self) -> float:
+        """Utilization without custom instructions (``C_i / P_i``)."""
+        return self.wcet / self.period
+
+    def config_utilization(self, j: int) -> float:
+        """Utilization when running configuration *j*."""
+        return self.configurations[j].cycles / self.period
+
+    @property
+    def n_configurations(self) -> int:
+        return len(self.configurations)
+
+    def with_period(self, period: float) -> "PeriodicTask":
+        """A copy of this task with a different period."""
+        return PeriodicTask(
+            name=self.name,
+            period=period,
+            wcet=self.wcet,
+            configurations=self.configurations,
+        )
+
+
+class TaskSet:
+    """An ordered collection of periodic tasks."""
+
+    def __init__(self, tasks: Iterable[PeriodicTask], name: str = "") -> None:
+        self.name = name
+        self._tasks = list(tasks)
+        if not self._tasks:
+            raise ScheduleError("a task set needs at least one task")
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self):
+        return iter(self._tasks)
+
+    def __getitem__(self, i: int) -> PeriodicTask:
+        return self._tasks[i]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(t.name for t in self._tasks)
+        return f"TaskSet({self.name!r}: {names})"
+
+    @property
+    def tasks(self) -> list[PeriodicTask]:
+        return list(self._tasks)
+
+    @property
+    def utilization(self) -> float:
+        """Total utilization without custom instructions."""
+        return sum(t.utilization for t in self._tasks)
+
+    def utilization_for(self, assignment: Sequence[int]) -> float:
+        """Total utilization for a per-task configuration assignment."""
+        if len(assignment) != len(self._tasks):
+            raise ScheduleError("assignment length must match task count")
+        return sum(
+            t.config_utilization(j) for t, j in zip(self._tasks, assignment)
+        )
+
+    def area_for(self, assignment: Sequence[int]) -> float:
+        """Total CFU area for a per-task configuration assignment."""
+        if len(assignment) != len(self._tasks):
+            raise ScheduleError("assignment length must match task count")
+        return sum(
+            t.configurations[j].area for t, j in zip(self._tasks, assignment)
+        )
+
+    @property
+    def max_area(self) -> float:
+        """Sum of the largest configuration area of each task.
+
+        The thesis's ``Max_Area``: "the summation of the maximum area
+        requirements of the constituent tasks" (Section 3.2).
+        """
+        return sum(max(c.area for c in t.configurations) for t in self._tasks)
+
+    def by_priority_rms(self) -> "TaskSet":
+        """Tasks sorted by increasing period (RMS priority order)."""
+        return TaskSet(
+            sorted(self._tasks, key=lambda t: t.period), name=self.name
+        )
+
+    def hyperperiod(self) -> float:
+        """Least common multiple of the periods (requires integral periods)."""
+        result = 1
+        for t in self._tasks:
+            p = round(t.period)
+            if abs(t.period - p) > 1e-9:
+                raise ScheduleError(
+                    "hyperperiod requires integral periods; "
+                    f"task {t.name!r} has period {t.period}"
+                )
+            result = math.lcm(result, max(1, p))
+        return float(result)
+
+
+def scale_periods_for_utilization(
+    tasks: Sequence[PeriodicTask], target_utilization: float, name: str = ""
+) -> TaskSet:
+    """Assign periods so the software-only utilization equals a target.
+
+    The thesis sets ``P_i = alpha_i x C_i`` such that ``sum C_i / P_i = U``
+    (Section 3.2).  We use a uniform alpha: every task gets
+    ``P_i = (n / U) x C_i`` so each contributes ``U / n``.
+
+    Args:
+        tasks: tasks whose ``wcet`` values are kept.
+        target_utilization: the desired total software utilization ``U``.
+        name: name for the resulting task set.
+
+    Returns:
+        A :class:`TaskSet` with periods scaled accordingly.
+    """
+    if target_utilization <= 0:
+        raise ScheduleError("target utilization must be positive")
+    n = len(tasks)
+    if n == 0:
+        raise ScheduleError("need at least one task")
+    alpha = n / target_utilization
+    return TaskSet(
+        [t.with_period(alpha * t.wcet) for t in tasks],
+        name=name,
+    )

@@ -1,0 +1,29 @@
+"""Custom-instruction selection substrate."""
+
+from repro.selection.annealing import select_annealing
+from repro.selection.branch_bound import select_branch_bound
+from repro.selection.genetic import select_genetic
+from repro.selection.config_curve import (
+    TaskConfiguration,
+    build_configuration_curve,
+    customized_block_cost,
+    downsample_curve,
+)
+from repro.selection.greedy import PRIORITY_FUNCTIONS, select_greedy
+from repro.selection.ilp import select_ilp
+from repro.selection.knapsack import area_quantum, select_knapsack
+
+__all__ = [
+    "select_annealing",
+    "select_genetic",
+    "select_branch_bound",
+    "TaskConfiguration",
+    "build_configuration_curve",
+    "customized_block_cost",
+    "downsample_curve",
+    "PRIORITY_FUNCTIONS",
+    "select_greedy",
+    "select_ilp",
+    "area_quantum",
+    "select_knapsack",
+]

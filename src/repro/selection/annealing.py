@@ -1,0 +1,128 @@
+"""Simulated-annealing custom-instruction selection (thesis 2.3.2, [43]).
+
+State: a feasible (conflict-free, in-budget) candidate subset.  Moves flip
+one candidate in or out; switching one in evicts conflicting/overflowing
+members.  The Metropolis criterion on total gain with a geometric cooling
+schedule escapes the local optima greedy selection falls into.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+
+from repro.enumeration.patterns import Candidate
+
+__all__ = ["select_annealing"]
+
+
+class _State:
+    def __init__(self, candidates: Sequence[Candidate], budget: float) -> None:
+        self.candidates = candidates
+        self.budget = budget
+        self.selected: set[int] = set()
+        self.area = 0.0
+        self.gain = 0.0
+
+    def clone(self) -> "_State":
+        s = _State(self.candidates, self.budget)
+        s.selected = set(self.selected)
+        s.area = self.area
+        s.gain = self.gain
+        return s
+
+    def conflicts_of(self, i: int) -> list[int]:
+        c = self.candidates[i]
+        return [
+            j
+            for j in self.selected
+            if j != i and c.overlaps(self.candidates[j])
+        ]
+
+    def remove(self, i: int) -> None:
+        if i in self.selected:
+            self.selected.discard(i)
+            self.area -= self.candidates[i].area
+            self.gain -= self.candidates[i].total_gain
+
+    def add(self, i: int) -> bool:
+        """Insert candidate *i*, evicting conflicts and overflow; True if
+        the insertion happened."""
+        c = self.candidates[i]
+        if c.area > self.budget:
+            return False
+        for j in self.conflicts_of(i):
+            self.remove(j)
+        # Evict lowest-density members until the budget holds.
+        while self.area + c.area > self.budget + 1e-9 and self.selected:
+            worst = min(
+                self.selected,
+                key=lambda j: (
+                    self.candidates[j].total_gain / self.candidates[j].area
+                    if self.candidates[j].area > 0
+                    else float("inf")
+                ),
+            )
+            self.remove(worst)
+        if self.area + c.area > self.budget + 1e-9:
+            return False
+        self.selected.add(i)
+        self.area += c.area
+        self.gain += c.total_gain
+        return True
+
+
+def select_annealing(
+    candidates: Sequence[Candidate],
+    area_budget: float,
+    iterations: int = 4000,
+    start_temp: float | None = None,
+    cooling: float = 0.999,
+    seed: int = 0,
+) -> list[int]:
+    """Simulated-annealing conflict-free selection under an area budget.
+
+    Args:
+        candidates: the candidate pool.
+        area_budget: total CFU area available.
+        iterations: annealing steps.
+        start_temp: initial temperature; defaults to the mean positive gain.
+        cooling: geometric cooling factor per step.
+        seed: RNG seed.
+
+    Returns:
+        Indices of the selected candidates (best state visited).
+    """
+    pool = [i for i, c in enumerate(candidates) if c.total_gain > 0]
+    if not pool or area_budget <= 0:
+        return []
+    rng = random.Random(seed)
+
+    state = _State(candidates, area_budget)
+    # Start from the greedy solution.
+    from repro.selection.greedy import select_greedy
+
+    for i in select_greedy(candidates, area_budget):
+        state.add(i)
+    best = state.clone()
+
+    gains = [candidates[i].total_gain for i in pool]
+    temp = start_temp if start_temp is not None else sum(gains) / len(gains)
+    temp = max(temp, 1e-9)
+
+    for _ in range(iterations):
+        i = rng.choice(pool)
+        trial = state.clone()
+        if i in trial.selected:
+            trial.remove(i)
+        elif not trial.add(i):
+            temp *= cooling
+            continue
+        delta = trial.gain - state.gain
+        if delta >= 0 or rng.random() < math.exp(delta / temp):
+            state = trial
+            if state.gain > best.gain:
+                best = state.clone()
+        temp = max(temp * cooling, 1e-9)
+    return sorted(best.selected)

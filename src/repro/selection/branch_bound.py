@@ -1,0 +1,94 @@
+"""Optimal custom-instruction selection by branch and bound.
+
+Maximizes total gain under an area budget with pairwise overlap conflicts
+(a base operation is covered by at most one selected candidate).  The
+search orders candidates by gain/area density and bounds each subtree with
+the fractional-knapsack relaxation (ignoring conflicts), which is admissible.
+Comparable to the branch-and-bound selector of Sun et al. [89] cited in
+thesis Section 2.3.2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.enumeration.patterns import Candidate
+
+__all__ = ["select_branch_bound"]
+
+
+def select_branch_bound(
+    candidates: Sequence[Candidate],
+    area_budget: float,
+    max_nodes: int = 2_000_000,
+) -> list[int]:
+    """Optimal conflict-free selection under an area budget.
+
+    Args:
+        candidates: the candidate pool.
+        area_budget: total CFU area available.
+        max_nodes: search-node safety cap; the incumbent (best found) is
+            returned if exceeded.
+
+    Returns:
+        Indices of the selected candidates.
+    """
+    pool = [
+        i
+        for i, c in enumerate(candidates)
+        if c.total_gain > 0 and c.area <= area_budget
+    ]
+    # Density order makes the fractional bound tight early.
+    pool.sort(
+        key=lambda i: -(
+            candidates[i].total_gain / candidates[i].area
+            if candidates[i].area > 0
+            else float("inf")
+        )
+    )
+    n = len(pool)
+    gains = [candidates[i].total_gain for i in pool]
+    areas = [candidates[i].area for i in pool]
+
+    best_gain = 0.0
+    best_sel: list[int] = []
+    visited = 0
+
+    def fractional_bound(k: int, remaining: float) -> float:
+        """Upper bound on extra gain from candidates k.. with *remaining* area."""
+        bound = 0.0
+        for j in range(k, n):
+            if areas[j] <= remaining:
+                bound += gains[j]
+                remaining -= areas[j]
+            elif areas[j] > 0:
+                bound += gains[j] * (remaining / areas[j])
+                break
+        return bound
+
+    def conflicts_with(i: int, chosen: list[int]) -> bool:
+        ci = candidates[pool[i]]
+        return any(ci.overlaps(candidates[pool[j]]) for j in chosen)
+
+    def search(k: int, chosen: list[int], gain: float, remaining: float) -> None:
+        nonlocal best_gain, best_sel, visited
+        visited += 1
+        if visited > max_nodes:
+            return
+        if gain > best_gain:
+            best_gain = gain
+            best_sel = list(chosen)
+        if k >= n:
+            return
+        if gain + fractional_bound(k, remaining) <= best_gain:
+            return
+        # Branch 1: take candidate k if it fits and does not conflict.
+        if areas[k] <= remaining and not conflicts_with(k, chosen):
+            chosen.append(k)
+            search(k + 1, chosen, gain + gains[k], remaining - areas[k])
+            chosen.pop()
+        # Branch 2: skip candidate k.
+        search(k + 1, chosen, gain, remaining)
+
+    search(0, [], 0.0, area_budget)
+    return sorted(pool[j] for j in best_sel)

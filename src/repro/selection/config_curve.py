@@ -1,0 +1,197 @@
+"""Per-task configuration curves (performance vs. hardware area).
+
+The multi-tasking algorithms of thesis Chapters 3, 4 and 7 consume, per task,
+a set of *configurations* ``config_{i,j} = (area_{i,j}, cycle_{i,j})`` with a
+monotone trade-off (Figure 3.1): the higher the area, the lower the cycle
+count.  Configuration ``j=0`` is always the pure-software version with zero
+area.  This module derives such curves from a task's program model by running
+candidate selection at stepped area budgets and re-evaluating the program
+cost after substitution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.enumeration.patterns import Candidate
+from repro.graphs.program import Block, Program
+from repro.selection.branch_bound import select_branch_bound
+from repro.selection.greedy import select_greedy
+
+__all__ = [
+    "TaskConfiguration",
+    "build_configuration_curve",
+    "customized_block_cost",
+    "downsample_curve",
+]
+
+
+@dataclass(frozen=True)
+class TaskConfiguration:
+    """One point on a task's performance/area trade-off curve.
+
+    Attributes:
+        area: total CFU area of the selected custom instructions.
+        cycles: task execution time (WCET or average, per the builder) with
+            those custom instructions.
+        selected: indices into the candidate library used to build the curve.
+    """
+
+    area: float
+    cycles: float
+    selected: tuple[int, ...] = ()
+
+
+def customized_block_cost(
+    candidates: Sequence[Candidate],
+    selected: Sequence[int],
+) -> Callable[[Block], float]:
+    """Block-cost function after substituting the selected candidates.
+
+    Each selected candidate lowers its owning block's latency by its
+    per-execution gain.  The returned callable is suitable for
+    :meth:`repro.graphs.program.Program.wcet` and friends; it resolves blocks
+    by identity through their position captured at call time.
+    """
+    saved_by_block: dict[int, float] = {}
+    for i in selected:
+        c = candidates[i]
+        saved_by_block[c.block_index] = (
+            saved_by_block.get(c.block_index, 0.0) + c.gain_per_exec
+        )
+
+    # The cost function needs the block's index; capture via attribute lookup
+    # at first use (programs hand us Block objects, not indices).
+    block_index_cache: dict[int, int] = {}
+
+    def bind(program: Program) -> Callable[[Block], float]:
+        index = {id(b): i for i, b in enumerate(program.basic_blocks)}
+
+        def cost(block: Block) -> float:
+            i = index[id(block)]
+            return max(
+                1.0, float(block.dfg.sw_cycles()) - saved_by_block.get(i, 0.0)
+            )
+
+        return cost
+
+    return bind  # type: ignore[return-value]
+
+
+def _program_cost(
+    program: Program,
+    candidates: Sequence[Candidate],
+    selected: Sequence[int],
+    objective: str,
+) -> float:
+    bind = customized_block_cost(candidates, selected)
+    cost = bind(program)  # type: ignore[operator]
+    if objective == "wcet":
+        return program.wcet(cost)
+    if objective == "avg":
+        return program.avg_cycles(cost)
+    raise ValueError(f"unknown objective {objective!r}; use 'wcet' or 'avg'")
+
+
+def build_configuration_curve(
+    program: Program,
+    candidates: Sequence[Candidate],
+    max_area: float | None = None,
+    steps: int = 12,
+    objective: str = "avg",
+    method: str = "greedy",
+) -> list[TaskConfiguration]:
+    """Build a task's Pareto-filtered configuration curve.
+
+    Args:
+        program: the task's program model.
+        candidates: its candidate library.
+        max_area: largest budget to explore; defaults to the area of all
+            profitable candidates combined.
+        steps: number of budget steps between 0 and *max_area*.
+        objective: ``"wcet"`` or ``"avg"`` program cost.
+        method: ``"greedy"`` (fast) or ``"optimal"`` (branch and bound).
+
+    Returns:
+        Configurations sorted by increasing area, starting with the software
+        version (area 0), with dominated points removed.  Cycle counts are
+        strictly decreasing along the curve.
+    """
+    if method not in ("greedy", "optimal"):
+        raise ValueError(f"unknown method {method!r}; use 'greedy' or 'optimal'")
+    profitable_area = sum(c.area for c in candidates if c.total_gain > 0)
+    ceiling = max_area if max_area is not None else profitable_area
+    base_cycles = _program_cost(program, candidates, [], objective)
+    points: list[TaskConfiguration] = [
+        TaskConfiguration(area=0.0, cycles=base_cycles, selected=())
+    ]
+    if ceiling <= 0:
+        return points
+    if method == "greedy":
+        # Greedy selections nest as the budget grows, so the prefixes of a
+        # single unbounded greedy run give the whole (fine-grained) curve.
+        order = select_greedy(candidates, ceiling)
+        prefix: list[int] = []
+        for i in order:
+            prefix.append(i)
+            sel = tuple(sorted(prefix))
+            used_area = sum(candidates[k].area for k in sel)
+            cycles = _program_cost(program, candidates, sel, objective)
+            points.append(
+                TaskConfiguration(area=used_area, cycles=cycles, selected=sel)
+            )
+    elif method == "optimal":
+        if steps <= 0:
+            return points
+        seen: set[tuple[int, ...]] = {()}
+        for k in range(1, steps + 1):
+            budget = ceiling * k / steps
+            sel = tuple(sorted(select_branch_bound(candidates, budget)))
+            if sel in seen:
+                continue
+            seen.add(sel)
+            used_area = sum(candidates[i].area for i in sel)
+            cycles = _program_cost(program, candidates, sel, objective)
+            points.append(
+                TaskConfiguration(area=used_area, cycles=cycles, selected=sel)
+            )
+    else:
+        raise ValueError(f"unknown method {method!r}; use 'greedy' or 'optimal'")
+    # Pareto filter: sort by area then drop points not improving cycles.
+    points.sort(key=lambda p: (p.area, p.cycles))
+    frontier: list[TaskConfiguration] = []
+    for p in points:
+        if not frontier:
+            frontier.append(p)
+        elif p.cycles < frontier[-1].cycles - 1e-9:
+            if abs(p.area - frontier[-1].area) < 1e-12:
+                frontier[-1] = p
+            else:
+                frontier.append(p)
+    return frontier
+
+
+def downsample_curve(
+    points: Sequence[TaskConfiguration], max_points: int
+) -> list[TaskConfiguration]:
+    """Thin a configuration curve to at most *max_points* points.
+
+    Keeps the software point (area 0) and the fastest point, and picks the
+    rest evenly along the area axis.  Used to bound the size of the
+    per-task design space handed to the inter-task DP / branch-and-bound.
+    """
+    if max_points < 2:
+        raise ValueError("max_points must be at least 2")
+    pts = sorted(points, key=lambda p: p.area)
+    if len(pts) <= max_points:
+        return list(pts)
+    lo, hi = pts[0].area, pts[-1].area
+    chosen = {0, len(pts) - 1}
+    for k in range(1, max_points - 1):
+        target = lo + (hi - lo) * k / (max_points - 1)
+        best = min(
+            range(len(pts)), key=lambda i: (abs(pts[i].area - target), i)
+        )
+        chosen.add(best)
+    return [pts[i] for i in sorted(chosen)]

@@ -1,0 +1,121 @@
+"""Genetic-algorithm custom-instruction selection (thesis 2.3.2, [86]).
+
+A chromosome is a bit vector over the candidate pool.  Fitness is the total
+gain of the *repaired* chromosome: conflicting or over-budget genes are
+switched off greedily (worst gain/area density first) so every individual
+is feasible.  Standard one-point crossover, bit-flip mutation, tournament
+selection and elitism.
+
+Population heuristics like this trade optimality for robustness to local
+optima in very large candidate pools; the bench
+``benchmarks/test_ablation_selection.py`` compares it against the optimal
+branch-and-bound.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.enumeration.patterns import Candidate
+
+__all__ = ["select_genetic"]
+
+
+def _repair(
+    genes: list[bool],
+    candidates: Sequence[Candidate],
+    area_budget: float,
+) -> list[bool]:
+    """Switch off genes until the selection is conflict-free and in budget."""
+    active = [i for i, g in enumerate(genes) if g and candidates[i].total_gain > 0]
+    # Drop conflicts: keep the denser of each conflicting pair.
+    by_density = sorted(
+        active,
+        key=lambda i: -(
+            candidates[i].total_gain / candidates[i].area
+            if candidates[i].area > 0
+            else float("inf")
+        ),
+    )
+    chosen: list[int] = []
+    covered: dict[int, set[int]] = {}
+    area = 0.0
+    for i in by_density:
+        c = candidates[i]
+        block_cover = covered.setdefault(c.block_index, set())
+        if c.nodes & block_cover or area + c.area > area_budget + 1e-9:
+            continue
+        chosen.append(i)
+        block_cover |= c.nodes
+        area += c.area
+    repaired = [False] * len(genes)
+    for i in chosen:
+        repaired[i] = True
+    return repaired
+
+
+def _fitness(genes: Sequence[bool], candidates: Sequence[Candidate]) -> float:
+    return sum(c.total_gain for g, c in zip(genes, candidates) if g)
+
+
+def select_genetic(
+    candidates: Sequence[Candidate],
+    area_budget: float,
+    population: int = 40,
+    generations: int = 60,
+    mutation_rate: float = 0.02,
+    tournament: int = 3,
+    elite: int = 2,
+    seed: int = 0,
+) -> list[int]:
+    """GA-based conflict-free selection under an area budget.
+
+    Args:
+        candidates: the candidate pool.
+        area_budget: total CFU area available.
+        population / generations / mutation_rate / tournament / elite:
+            standard GA knobs.
+        seed: RNG seed (deterministic for a given seed).
+
+    Returns:
+        Indices of the selected candidates.
+    """
+    n = len(candidates)
+    if n == 0 or area_budget <= 0:
+        return []
+    rng = random.Random(seed)
+
+    def random_individual() -> list[bool]:
+        genes = [rng.random() < 0.3 for _ in range(n)]
+        return _repair(genes, candidates, area_budget)
+
+    pop = [random_individual() for _ in range(population)]
+    # Seed one greedy individual so the GA never starts below the heuristic.
+    from repro.selection.greedy import select_greedy
+
+    greedy = select_greedy(candidates, area_budget)
+    seeded = [False] * n
+    for i in greedy:
+        seeded[i] = True
+    pop[0] = seeded
+
+    def pick_parent() -> list[bool]:
+        entrants = rng.sample(pop, min(tournament, len(pop)))
+        return max(entrants, key=lambda g: _fitness(g, candidates))
+
+    for _gen in range(generations):
+        ranked = sorted(pop, key=lambda g: -_fitness(g, candidates))
+        next_pop = [list(g) for g in ranked[:elite]]
+        while len(next_pop) < population:
+            a, b = pick_parent(), pick_parent()
+            cut = rng.randint(1, n - 1) if n > 1 else 0
+            child = a[:cut] + b[cut:]
+            for i in range(n):
+                if rng.random() < mutation_rate:
+                    child[i] = not child[i]
+            next_pop.append(_repair(child, candidates, area_budget))
+        pop = next_pop
+
+    best = max(pop, key=lambda g: _fitness(g, candidates))
+    return sorted(i for i, g in enumerate(best) if g)

@@ -1,0 +1,67 @@
+"""Greedy custom-instruction selection heuristics.
+
+Standard priority-function heuristics from the literature (thesis
+Section 2.3.2, [24, 22, 64]): repeatedly pick the best-ranked candidate that
+fits the remaining area and does not overlap an already-selected candidate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.enumeration.patterns import Candidate
+
+__all__ = ["select_greedy", "PRIORITY_FUNCTIONS"]
+
+
+def _by_gain(c: Candidate) -> float:
+    return c.total_gain
+
+
+def _by_gain_area_ratio(c: Candidate) -> float:
+    return c.total_gain / c.area if c.area > 0 else float("inf")
+
+
+#: Named priority functions accepted by :func:`select_greedy`.
+PRIORITY_FUNCTIONS: dict[str, Callable[[Candidate], float]] = {
+    "gain": _by_gain,
+    "gain_area_ratio": _by_gain_area_ratio,
+}
+
+
+def select_greedy(
+    candidates: Sequence[Candidate],
+    area_budget: float,
+    priority: str = "gain_area_ratio",
+) -> list[int]:
+    """Select a conflict-free candidate subset greedily.
+
+    Args:
+        candidates: the candidate pool.
+        area_budget: total CFU area available.
+        priority: one of :data:`PRIORITY_FUNCTIONS` keys.
+
+    Returns:
+        Indices of the selected candidates (in selection order).
+    """
+    try:
+        rank = PRIORITY_FUNCTIONS[priority]
+    except KeyError:
+        raise ValueError(
+            f"unknown priority {priority!r}; choose from {sorted(PRIORITY_FUNCTIONS)}"
+        ) from None
+    order = sorted(range(len(candidates)), key=lambda i: -rank(candidates[i]))
+    selected: list[int] = []
+    covered: dict[int, set[int]] = {}
+    remaining = area_budget
+    for i in order:
+        c = candidates[i]
+        if c.total_gain <= 0 or c.area > remaining:
+            continue
+        block_cover = covered.setdefault(c.block_index, set())
+        if c.nodes & block_cover:
+            continue
+        selected.append(i)
+        block_cover |= c.nodes
+        remaining -= c.area
+    return selected

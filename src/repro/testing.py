@@ -1,0 +1,124 @@
+"""Reusable randomized-workload builders for tests and experiments.
+
+Deterministic (seeded) generators for the library's main input types, used
+by the internal test suite and exported for downstream users who want to
+property-test code built on top of repro.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.graphs.dfg import DataFlowGraph
+from repro.isa.opcodes import Opcode
+from repro.reconfig.model import HotLoop
+from repro.rtsched.task import PeriodicTask, TaskSet
+from repro.selection.config_curve import TaskConfiguration
+
+__all__ = [
+    "random_dfg",
+    "random_task_set",
+    "random_hot_loops",
+    "VALID_TEST_OPS",
+]
+
+#: Ops used by :func:`random_dfg` (all valid inside custom instructions).
+VALID_TEST_OPS: tuple[Opcode, ...] = (
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.XOR,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.SHL,
+    Opcode.SHR,
+    Opcode.CMP,
+    Opcode.SELECT,
+)
+
+
+def random_dfg(
+    seed: int,
+    n_nodes: int = 10,
+    ops: Sequence[Opcode] = VALID_TEST_OPS,
+    max_preds: int = 2,
+    include_invalid: bool = False,
+) -> DataFlowGraph:
+    """A random DAG of primitive operations.
+
+    Args:
+        seed: RNG seed (same seed -> identical graph).
+        n_nodes: node count.
+        ops: opcode pool.
+        max_preds: maximum in-graph producers per node.
+        include_invalid: sprinkle LOAD/STORE nodes (region separators).
+    """
+    rng = random.Random(seed)
+    pool = list(ops)
+    if include_invalid:
+        pool = pool + [Opcode.LOAD, Opcode.STORE]
+    dfg = DataFlowGraph(f"random{seed}")
+    for i in range(n_nodes):
+        op = rng.choice(pool)
+        preds: list[int] = []
+        if i > 0:
+            count = rng.randint(0, min(max_preds, i))
+            preds = rng.sample(range(i), count)
+        dfg.add_op(op, preds=preds)
+    return dfg
+
+
+def random_task_set(
+    seed: int,
+    n_tasks: int = 4,
+    max_configs: int = 5,
+    utilization: float | None = None,
+) -> TaskSet:
+    """A random periodic task set with monotone configuration curves.
+
+    Args:
+        seed: RNG seed.
+        n_tasks: task count.
+        max_configs: maximum configurations per task (>= 1).
+        utilization: optionally rescale periods so the software utilization
+            equals this value.
+    """
+    rng = random.Random(seed)
+    tasks: list[PeriodicTask] = []
+    for i in range(n_tasks):
+        wcet = float(rng.randint(10, 100))
+        configs = [TaskConfiguration(0.0, wcet)]
+        area, cycles = 0.0, wcet
+        for _ in range(rng.randint(0, max_configs - 1)):
+            area += rng.randint(1, 15)
+            cycles = max(1.0, cycles - rng.randint(1, int(wcet // 4) + 1))
+            configs.append(TaskConfiguration(area, cycles))
+        tasks.append(
+            PeriodicTask(
+                name=f"task{i}",
+                period=wcet * rng.uniform(1.2, 4.0),
+                wcet=wcet,
+                configurations=tuple(configs),
+            )
+        )
+    ts = TaskSet(tasks, name=f"random{seed}")
+    if utilization is not None:
+        from repro.rtsched.task import scale_periods_for_utilization
+
+        ts = scale_periods_for_utilization(tasks, utilization, name=ts.name)
+    return ts
+
+
+def random_hot_loops(
+    seed: int,
+    n_loops: int = 6,
+    max_versions: int = 6,
+) -> tuple[list[HotLoop], list[int]]:
+    """Random (hot loops, trace) pair for reconfiguration experiments."""
+    from repro.workloads.loops import synthetic_loops, synthetic_trace
+
+    return (
+        synthetic_loops(n_loops, seed=seed, max_versions=max_versions),
+        synthetic_trace(n_loops, seed=seed),
+    )

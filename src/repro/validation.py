@@ -1,0 +1,178 @@
+"""End-to-end consistency validation of customization results.
+
+Cross-checks the three independent cost/schedulability models the library
+maintains:
+
+1. **analysis** — the utilization arithmetic the selection DPs optimize;
+2. **simulation** — the discrete-event EDF/RM scheduler;
+3. **code generation** — block costs from folding the selected custom
+   instructions and re-scheduling the rewritten DFGs.
+
+Used by the ``validate`` CLI command and the tests; returns a structured
+report a release pipeline can assert on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.edf_select import select_edf
+from repro.enumeration.library import build_candidate_library
+from repro.graphs.program import Program
+from repro.graphs.rewrite import acyclic_subset, rewrite_block
+from repro.rtsched.simulator import simulate
+from repro.rtsched.task import TaskSet
+from repro.selection.config_curve import build_configuration_curve
+
+__all__ = ["ValidationReport", "validate_task_set", "validate_program_costs"]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of a consistency validation run.
+
+    Attributes:
+        checks: (name, passed, detail) triples.
+    """
+
+    checks: tuple[tuple[str, bool, str], ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(ok for _name, ok, _detail in self.checks)
+
+    def summary(self) -> str:
+        lines = []
+        for name, ok, detail in self.checks:
+            mark = "PASS" if ok else "FAIL"
+            lines.append(f"[{mark}] {name}: {detail}")
+        return "\n".join(lines)
+
+
+def validate_task_set(
+    task_set: TaskSet, area_budget: float, horizon_periods: float = 20.0
+) -> ValidationReport:
+    """Check the EDF selection's verdict against the scheduler simulator.
+
+    Periods are floored and costs ceiled to integers for the simulation, so
+    the simulated system is strictly harder than the analyzed one: a
+    schedulable analysis verdict must survive simulation.
+    """
+    checks: list[tuple[str, bool, str]] = []
+    sel = select_edf(task_set, area_budget)
+    checks.append(
+        (
+            "utilization-arithmetic",
+            abs(task_set.utilization_for(sel.assignment) - sel.utilization) < 1e-9,
+            f"U = {sel.utilization:.4f}",
+        )
+    )
+    checks.append(
+        (
+            "area-budget",
+            sel.area <= area_budget + 1e-9,
+            f"area {sel.area:.1f} <= {area_budget:.1f}",
+        )
+    )
+    tasks = task_set.tasks
+    periods = [float(math.floor(t.period)) for t in tasks]
+    costs = [
+        float(math.ceil(t.configurations[j].cycles))
+        for t, j in zip(tasks, sel.assignment)
+    ]
+    hardened_u = sum(c / p for c, p in zip(costs, periods))
+    if sel.schedulable and hardened_u <= 1.0:
+        sim = simulate(
+            periods,
+            costs,
+            policy="edf",
+            horizon=horizon_periods * max(periods),
+        )
+        checks.append(
+            (
+                "edf-simulation",
+                sim.schedulable,
+                f"simulated {sim.horizon:.0f} time units, "
+                f"{len(sim.missed)} deadline misses",
+            )
+        )
+        # Horizon-edge jobs may add up to one job's work per task beyond
+        # the steady-state rate.
+        edge_slack = sum(costs) / sim.horizon if sim.horizon > 0 else 0.0
+        checks.append(
+            (
+                "simulated-utilization",
+                sim.observed_utilization <= hardened_u + edge_slack + 1e-6,
+                f"observed {sim.observed_utilization:.4f} <= "
+                f"analyzed {hardened_u:.4f} (+edge {edge_slack:.4f})",
+            )
+        )
+    else:
+        checks.append(
+            (
+                "edf-simulation",
+                True,
+                "skipped (analysis reports unschedulable or rounding "
+                "pushed U past 1)",
+            )
+        )
+    return ValidationReport(checks=tuple(checks))
+
+
+def validate_program_costs(
+    program: Program, max_selected: int = 16
+) -> ValidationReport:
+    """Check curve arithmetic against folded-DFG code generation.
+
+    The configuration curve predicts block costs by subtracting candidate
+    gains; folding the same candidates into super-nodes and re-scheduling
+    must give identical single-issue block costs.
+    """
+    checks: list[tuple[str, bool, str]] = []
+    library = build_candidate_library(program)
+    curve = build_configuration_curve(program, library.candidates)
+    point = curve[-1]
+    selected = list(point.selected)[:max_selected]
+    by_block: dict[int, list[int]] = {}
+    for i in selected:
+        by_block.setdefault(library.candidates[i].block_index, []).append(i)
+    blocks = program.basic_blocks
+    consistent = True
+    detail_parts = []
+    for block_idx, cand_ids in by_block.items():
+        dfg = blocks[block_idx].dfg
+        groups = acyclic_subset(
+            dfg, [library.candidates[i].nodes for i in cand_ids]
+        )
+        kept = [
+            i
+            for i in cand_ids
+            if library.candidates[i].nodes in set(groups)
+        ]
+        rb = rewrite_block(dfg, groups)
+        predicted = dfg.sw_cycles() - sum(
+            library.candidates[i].gain_per_exec for i in kept
+        )
+        actual = rb.sequential_cycles()
+        if actual != predicted:
+            consistent = False
+        detail_parts.append(f"block {block_idx}: {actual} vs {predicted}")
+    checks.append(
+        (
+            "codegen-vs-curve",
+            consistent,
+            "; ".join(detail_parts) if detail_parts else "no candidates selected",
+        )
+    )
+    checks.append(
+        (
+            "curve-monotone",
+            all(
+                b.cycles < a.cycles and b.area > a.area
+                for a, b in zip(curve, curve[1:])
+            ),
+            f"{len(curve)} points",
+        )
+    )
+    return ValidationReport(checks=tuple(checks))

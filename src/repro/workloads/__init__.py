@@ -1,0 +1,61 @@
+"""Workload substrate: synthetic benchmarks, task sets, traces, case studies."""
+
+from repro.workloads.benchmarks import (
+    BENCHMARKS,
+    benchmark_names,
+    get_program,
+    get_spec,
+)
+from repro.workloads.synthesis import (
+    OP_MIXES,
+    ProgramSpec,
+    seed_for,
+    synth_dfg,
+    synth_pipeline_program,
+    synth_program,
+)
+from repro.workloads.biomonitor import (
+    BIOMONITOR_KERNELS,
+    biomonitor_program,
+    biomonitor_programs,
+)
+from repro.workloads.jpeg import JPEG_MAX_AREA, JPEG_RHO, jpeg_loops, jpeg_trace
+from repro.workloads.loops import synthetic_loops, synthetic_trace
+from repro.workloads.sdr import SDR_MAX_AREA, SDR_MODE_A, SDR_MODE_B, sdr_loops, sdr_trace
+from repro.workloads.tasksets import (
+    CH3_TASK_SETS,
+    CH4_TASK_SETS,
+    CH5_TASK_SETS,
+    programs_for,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "benchmark_names",
+    "get_program",
+    "get_spec",
+    "OP_MIXES",
+    "ProgramSpec",
+    "seed_for",
+    "synth_dfg",
+    "synth_pipeline_program",
+    "synth_program",
+    "BIOMONITOR_KERNELS",
+    "biomonitor_program",
+    "biomonitor_programs",
+    "JPEG_MAX_AREA",
+    "JPEG_RHO",
+    "jpeg_loops",
+    "jpeg_trace",
+    "synthetic_loops",
+    "synthetic_trace",
+    "SDR_MAX_AREA",
+    "SDR_MODE_A",
+    "SDR_MODE_B",
+    "sdr_loops",
+    "sdr_trace",
+    "CH3_TASK_SETS",
+    "CH4_TASK_SETS",
+    "CH5_TASK_SETS",
+    "programs_for",
+]

@@ -1,0 +1,119 @@
+"""JPEG encoder case study for runtime reconfiguration (thesis Section 6.4.2).
+
+The thesis accelerates a JPEG application on the Stretch S6000: hot loops
+are extracted, CIS versions are written for each (Table 6.2 lists the
+versions), and the partitioning algorithms decide which versions share
+which ISEF configuration.  We model the classic JPEG encoder pipeline —
+color conversion, chroma downsampling, row/column DCT, quantization,
+zigzag, DC/AC Huffman coding — with per-loop version curves in Stretch-like
+units (areas in arithmetic units out of a 2048-AU fabric, gains in
+Kcycles) and the per-MCU loop trace.
+"""
+
+from __future__ import annotations
+
+from repro.reconfig.model import CISVersion, HotLoop
+
+__all__ = ["JPEG_MAX_AREA", "JPEG_RHO", "jpeg_loops", "jpeg_trace"]
+
+#: ISEF-like fabric size for one configuration, in arithmetic units.
+JPEG_MAX_AREA = 2048.0
+
+#: Cost of one ISEF reconfiguration, in Kcycles (the thesis motivating
+#: example uses 15K cycles per reconfiguration).
+JPEG_RHO = 15.0
+
+
+def jpeg_loops() -> list[HotLoop]:
+    """The JPEG encoder hot loops with their CIS versions.
+
+    Version 0 of each loop is software.  Areas are AUs, gains Kcycles over
+    the encoding of one test image (Table 6.2-style data).
+    """
+    mk = CISVersion
+    return [
+        HotLoop(
+            "color_conversion",
+            (
+                mk(0, 0),
+                mk(257, 111),
+                mk(301, 160),
+                mk(1612, 563),
+            ),
+        ),
+        HotLoop(
+            "downsample",
+            (
+                mk(0, 0),
+                mk(184, 92),
+                mk(412, 178),
+            ),
+        ),
+        HotLoop(
+            "fdct_row",
+            (
+                mk(0, 0),
+                mk(612, 230),
+                mk(1041, 387),
+                mk(1321, 426),
+                mk(2004, 556),
+            ),
+        ),
+        HotLoop(
+            "fdct_col",
+            (
+                mk(0, 0),
+                mk(672, 249),
+                mk(1249, 493),
+                mk(1612, 549),
+            ),
+        ),
+        HotLoop(
+            "quantize",
+            (
+                mk(0, 0),
+                mk(226, 104),
+                mk(498, 219),
+                mk(967, 318),
+            ),
+        ),
+        HotLoop(
+            "zigzag",
+            (
+                mk(0, 0),
+                mk(118, 41),
+                mk(256, 77),
+            ),
+        ),
+        HotLoop(
+            "huffman_dc",
+            (
+                mk(0, 0),
+                mk(322, 96),
+                mk(540, 151),
+            ),
+        ),
+        HotLoop(
+            "huffman_ac",
+            (
+                mk(0, 0),
+                mk(387, 149),
+                mk(806, 287),
+                mk(1190, 384),
+            ),
+        ),
+    ]
+
+
+def jpeg_trace(n_mcu: int = 24) -> list[int]:
+    """The per-image loop trace of the JPEG encoder.
+
+    Per MCU: color conversion and downsampling, then the 2D DCT (row pass,
+    column pass), quantization, zigzag and Huffman coding of the DC and AC
+    coefficients.  Indices match :func:`jpeg_loops` order.
+    """
+    cc, ds, fr, fc, qz, zz, hd, ha = range(8)
+    trace: list[int] = []
+    for _ in range(n_mcu):
+        trace.extend([cc, ds, fr, fc, qz, zz, hd, ha])
+    return trace

@@ -1,0 +1,75 @@
+"""Synthetic hot-loop workloads for the reconfiguration study (Ch. 6).
+
+Mirrors the thesis Section 6.4.1 synthetic inputs: 5 to 100 hot loops, each
+with 1 to 10 CIS versions, per-version performance gain between 1,000 and
+10,000 time units and hardware area between 1 and 100 units, with gain
+increasing in area.  The loop trace is generated as a random phased walk
+(phases of a few loops repeating, like nested program phases), which yields
+randomized pairwise reconfiguration counts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.reconfig.model import CISVersion, HotLoop
+
+__all__ = ["synthetic_loops", "synthetic_trace"]
+
+
+def synthetic_loops(
+    n_loops: int,
+    seed: int = 0,
+    max_versions: int = 10,
+    gain_range: tuple[int, int] = (1000, 10000),
+    area_range: tuple[int, int] = (1, 100),
+) -> list[HotLoop]:
+    """Generate *n_loops* synthetic hot loops with monotone version curves."""
+    rng = random.Random(seed)
+    loops: list[HotLoop] = []
+    for i in range(n_loops):
+        n_versions = rng.randint(1, max_versions)
+        # Monotone (area, gain) curve: sorted random draws paired up.
+        areas = sorted(rng.randint(*area_range) for _ in range(n_versions))
+        gains = sorted(rng.randint(*gain_range) for _ in range(n_versions))
+        versions = [CISVersion(area=0.0, gain=0.0)]
+        seen_area = set()
+        for a, g in zip(areas, gains):
+            if a in seen_area:
+                continue
+            seen_area.add(a)
+            versions.append(CISVersion(area=float(a), gain=float(g)))
+        loops.append(HotLoop(name=f"loop{i}", versions=tuple(versions)))
+    return loops
+
+
+def synthetic_trace(
+    n_loops: int,
+    seed: int = 0,
+    length: int | None = None,
+    phase_size: tuple[int, int] = (2, 4),
+    phase_repeats: tuple[int, int] = (2, 8),
+) -> list[int]:
+    """Generate a phased loop trace over *n_loops* loops.
+
+    The trace alternates through "phases": a random subset of 2-4 loops is
+    cycled several times (inner-loop behaviour), then the walk moves to the
+    next phase.  Every loop appears at least once.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    target = length if length is not None else 20 * n_loops
+    trace: list[int] = []
+    remaining = set(range(n_loops))
+    while len(trace) < target or remaining:
+        size = rng.randint(*phase_size)
+        pool = sorted(remaining) if remaining else list(range(n_loops))
+        phase = rng.sample(pool, min(size, len(pool)))
+        if len(phase) < size:
+            others = [x for x in range(n_loops) if x not in phase]
+            phase += rng.sample(others, min(size - len(phase), len(others)))
+        remaining -= set(phase)
+        for _ in range(rng.randint(*phase_repeats)):
+            trace.extend(phase)
+        if len(trace) > 50 * n_loops:  # safety
+            break
+    return trace

@@ -1,0 +1,88 @@
+"""Software-defined-radio mode-switching case study.
+
+Thesis Section 2.1 motivates runtime reconfiguration with "highly dynamic
+applications that can switch between different modes (e.g., runtime
+selection of encryption standard) with unique custom instruction
+requirements — a customized processor catering to all the scenarios will
+clearly be a sub-optimal design".
+
+This workload models such an application: a receiver that alternates
+between operating modes, each exercising a different set of hot kernels
+with its own CIS versions:
+
+* **mode A (WLAN-like)** — FFT channelizer, Viterbi decoder, AES
+  decryption;
+* **mode B (GSM-like)** — polyphase demodulator, convolutional decoder,
+  DES-like cipher.
+
+A static design must split one fabric across both modes' instructions;
+a reconfigurable design loads each mode's configuration on a mode switch,
+paying ρ only at the (infrequent) switches.
+"""
+
+from __future__ import annotations
+
+from repro.reconfig.model import CISVersion, HotLoop
+
+__all__ = ["SDR_MAX_AREA", "sdr_loops", "sdr_trace", "SDR_MODE_A", "SDR_MODE_B"]
+
+#: Fabric area of one configuration (arithmetic units).
+SDR_MAX_AREA = 1600.0
+
+#: Loop indices active in each operating mode.
+SDR_MODE_A: tuple[int, ...] = (0, 1, 2)
+SDR_MODE_B: tuple[int, ...] = (3, 4, 5)
+
+
+#: Per-frame gains (Kcycles) and areas (AU) of each kernel's versions.
+_KERNELS: tuple[tuple[str, tuple[tuple[float, float], ...]], ...] = (
+    # --- mode A ---
+    ("fft_channelizer", ((420.0, 1.8), (780.0, 3.1))),
+    ("viterbi_decoder", ((510.0, 2.4), (940.0, 4.2))),
+    ("aes_decrypt", ((380.0, 1.5), (720.0, 2.6))),
+    # --- mode B ---
+    ("polyphase_demod", ((450.0, 2.0), (820.0, 3.4))),
+    ("conv_decoder", ((480.0, 2.1), (880.0, 3.8))),
+    ("des_cipher", ((350.0, 1.3), (680.0, 2.4))),
+)
+
+
+def sdr_loops(frames_per_dwell: int = 40, dwells: int = 6) -> list[HotLoop]:
+    """Hot kernels of the two operating modes with their CIS versions.
+
+    Version gains are *totals* over the run described by
+    :func:`sdr_trace` with the same parameters: per-frame gain times the
+    number of frames the kernel's mode is active.  Version curves are
+    deliberately area-hungry so one fabric configuration cannot hold both
+    modes' best versions (the thesis's motivating tension).
+    """
+    mode_a_dwells = (dwells + 1) // 2
+    mode_b_dwells = dwells // 2
+    loops: list[HotLoop] = []
+    for idx, (name, versions) in enumerate(_KERNELS):
+        frames = frames_per_dwell * (
+            mode_a_dwells if idx in SDR_MODE_A else mode_b_dwells
+        )
+        curve = [CISVersion(0.0, 0.0)]
+        for area, gain_per_frame in versions:
+            curve.append(CISVersion(area, gain_per_frame * frames))
+        loops.append(HotLoop(name, tuple(curve)))
+    return loops
+
+
+def sdr_trace(
+    frames_per_dwell: int = 40, dwells: int = 6
+) -> list[int]:
+    """Loop trace of the mode-switching receiver.
+
+    The radio stays in one mode for *frames_per_dwell* frames (each frame
+    runs the mode's three kernels), then switches to the other mode;
+    *dwells* mode periods total.  Mode switches are rare relative to
+    frames, which is exactly when reconfiguration wins.
+    """
+    trace: list[int] = []
+    for dwell in range(dwells):
+        kernels = SDR_MODE_A if dwell % 2 == 0 else SDR_MODE_B
+        for _ in range(frames_per_dwell):
+            trace.extend(kernels)
+    return trace

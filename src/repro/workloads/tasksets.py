@@ -1,0 +1,90 @@
+"""Task-set compositions from the thesis evaluation sections.
+
+* :data:`CH3_TASK_SETS` — Table 3.1 (six sets of four MiBench/MediaBench
+  tasks, Chapter 3 / DATE 2007 evaluation).
+* :data:`CH4_TASK_SETS` — Table 4.1 (five sets of six to ten tasks,
+  Chapter 4 evaluation).
+* :data:`CH5_TASK_SETS` — Table 5.2 (five sets of four tasks, Chapter 5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import WorkloadError
+from repro.graphs.program import Program
+from repro.workloads.benchmarks import get_program
+
+__all__ = [
+    "CH3_TASK_SETS",
+    "CH4_TASK_SETS",
+    "CH5_TASK_SETS",
+    "programs_for",
+]
+
+
+#: Thesis Table 3.1: composition of the Chapter 3 task sets.
+CH3_TASK_SETS: dict[int, tuple[str, ...]] = {
+    1: ("crc32", "sha", "jpeg_decoder", "blowfish"),
+    2: ("blowfish", "adpcm_decoder", "crc32", "jpeg_encoder"),
+    3: ("adpcm_encoder", "blowfish", "jpeg_decoder", "crc32"),
+    4: ("sha", "susan", "crc32", "g721_encoder"),
+    5: ("adpcm_decoder", "jpeg_decoder", "crc32", "blowfish"),
+    6: ("crc32", "sha", "blowfish", "susan"),
+}
+
+#: Thesis Table 4.1: composition of the Chapter 4 task sets.
+CH4_TASK_SETS: dict[int, tuple[str, ...]] = {
+    1: ("cjpeg", "adpcm", "aes", "compress", "rijndael", "ispell"),
+    2: ("djpeg", "g721decode", "cjpeg", "ispell", "adpcm", "jfdctint", "aes"),
+    3: ("cjpeg", "ispell", "edn", "sha", "g721decode", "djpeg", "compress", "ndes"),
+    4: (
+        "adpcm",
+        "rijndael",
+        "cjpeg",
+        "ispell",
+        "sha",
+        "ndes",
+        "djpeg",
+        "compress",
+        "edn",
+    ),
+    5: (
+        "aes",
+        "djpeg",
+        "g721decode",
+        "rijndael",
+        "jfdctint",
+        "cjpeg",
+        "edn",
+        "ispell",
+        "sha",
+        "ndes",
+    ),
+}
+
+#: Thesis Table 5.2: composition of the Chapter 5 task sets.
+CH5_TASK_SETS: dict[int, tuple[str, ...]] = {
+    1: ("3des", "rijndael", "sha", "g721decode"),
+    2: ("sha", "jfdctint", "rijndael", "ndes"),
+    3: ("ndes", "g721decode", "rijndael", "sha"),
+    4: ("aes", "3des", "adpcm", "jfdctint"),
+    5: ("adpcm", "jfdctint", "rijndael", "sha"),
+}
+
+
+def programs_for(names: Sequence[str]) -> list[Program]:
+    """Instantiate the synthetic programs for a task-set composition.
+
+    Duplicate benchmark names within one composition get distinct program
+    instances (salted generation) so their tasks are independent.
+    """
+    if not names:
+        raise WorkloadError("a task set needs at least one benchmark")
+    seen: dict[str, int] = {}
+    programs: list[Program] = []
+    for name in names:
+        salt = seen.get(name, 0)
+        seen[name] = salt + 1
+        programs.append(get_program(name, salt=salt))
+    return programs

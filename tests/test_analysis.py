@@ -1,0 +1,116 @@
+"""Tests for the sensitivity-analysis helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    area_sweep,
+    marginal_area_utility,
+    utilization_breakdown,
+)
+from repro.errors import ScheduleError
+from repro.rtsched import PeriodicTask, TaskSet
+from repro.selection.config_curve import TaskConfiguration
+
+
+def _taskset():
+    def t(name, period, configs):
+        return PeriodicTask(
+            name=name,
+            period=period,
+            wcet=configs[0][1],
+            configurations=tuple(TaskConfiguration(a, c) for a, c in configs),
+        )
+
+    return TaskSet(
+        [
+            t("heavy", 10, [(0, 8), (4, 6), (8, 4)]),
+            t("light", 20, [(0, 4), (4, 2)]),
+        ]
+    )
+
+
+class TestBreakdown:
+    def test_shares_sum_to_one(self):
+        ts = _taskset()
+        rows = utilization_breakdown(ts, [0, 0])
+        assert sum(r.share for r in rows) == pytest.approx(1.0)
+
+    def test_sorted_by_utilization(self):
+        rows = utilization_breakdown(_taskset(), [0, 0])
+        utils = [r.utilization for r in rows]
+        assert utils == sorted(utils, reverse=True)
+        assert rows[0].name == "heavy"
+
+    def test_headroom_zero_at_best_configuration(self):
+        rows = utilization_breakdown(_taskset(), [2, 1])
+        assert all(r.headroom == pytest.approx(0.0) for r in rows)
+
+    def test_headroom_positive_in_software(self):
+        rows = utilization_breakdown(_taskset(), [0, 0])
+        heavy = next(r for r in rows if r.name == "heavy")
+        assert heavy.headroom == pytest.approx((8 - 4) / 10)
+
+    def test_length_validation(self):
+        with pytest.raises(ScheduleError):
+            utilization_breakdown(_taskset(), [0])
+
+
+class TestMarginalUtility:
+    def test_positive_when_area_helps(self):
+        ts = _taskset()
+        mu = marginal_area_utility(ts, 0.0, delta=4.0)
+        # 4 area buys heavy's first configuration: dU = 0.2 over 4 area.
+        assert mu > 0
+
+    def test_zero_when_saturated(self):
+        ts = _taskset()
+        assert marginal_area_utility(ts, 100.0, delta=10.0) == pytest.approx(0.0)
+
+    def test_default_delta(self):
+        assert marginal_area_utility(_taskset(), 4.0) >= 0.0
+
+
+class TestAreaSweep:
+    def test_edf_monotone(self):
+        ts = _taskset()
+        sweep = area_sweep(ts, [0, 4, 8, 12])
+        utils = [u for _b, u in sweep]
+        assert utils == sorted(utils, reverse=True)
+
+    def test_rms_reports_inf_when_unschedulable(self):
+        def t(name, period, configs):
+            return PeriodicTask(
+                name=name,
+                period=period,
+                wcet=configs[0][1],
+                configurations=tuple(
+                    TaskConfiguration(a, c) for a, c in configs
+                ),
+            )
+
+        # Unschedulable in software, fixable with area 5.
+        ts = TaskSet(
+            [
+                t("a", 2, [(0, 1.5), (5, 1.0)]),
+                t("b", 3, [(0, 1.5), (5, 1.0)]),
+            ]
+        )
+        sweep = area_sweep(ts, [0, 10], policy="rms")
+        assert sweep[0][1] == float("inf")
+        assert sweep[1][1] < float("inf")
+
+    def test_unknown_policy(self):
+        with pytest.raises(ScheduleError):
+            area_sweep(_taskset(), [0], policy="nope")
+
+
+class TestCliExplain:
+    def test_explain_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "crc32", "lms"]) == 0
+        out = capsys.readouterr().out
+        assert "marginal utility" in out
+        assert "headroom" in out

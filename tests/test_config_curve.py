@@ -1,0 +1,122 @@
+"""Tests for configuration-curve construction and downsampling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enumeration import build_candidate_library
+from repro.selection import (
+    build_configuration_curve,
+    customized_block_cost,
+    downsample_curve,
+)
+from repro.selection.config_curve import TaskConfiguration
+
+
+class TestCurve:
+    def test_starts_with_software_point(self, tiny_program):
+        lib = build_candidate_library(tiny_program)
+        curve = build_configuration_curve(tiny_program, lib.candidates)
+        assert curve[0].area == 0.0
+        assert curve[0].selected == ()
+
+    def test_strictly_improving_frontier(self, tiny_program):
+        lib = build_candidate_library(tiny_program)
+        curve = build_configuration_curve(tiny_program, lib.candidates)
+        for a, b in zip(curve, curve[1:]):
+            assert b.area > a.area
+            assert b.cycles < a.cycles
+
+    def test_wcet_objective_upper_bounds_avg(self, tiny_program):
+        lib = build_candidate_library(tiny_program)
+        wcet_curve = build_configuration_curve(
+            tiny_program, lib.candidates, objective="wcet"
+        )
+        avg_curve = build_configuration_curve(
+            tiny_program, lib.candidates, objective="avg"
+        )
+        assert wcet_curve[0].cycles >= avg_curve[0].cycles
+
+    def test_optimal_method_at_least_as_good_at_full_budget(self, tiny_program):
+        lib = build_candidate_library(tiny_program)
+        greedy = build_configuration_curve(
+            tiny_program, lib.candidates, method="greedy"
+        )
+        optimal = build_configuration_curve(
+            tiny_program, lib.candidates, method="optimal", steps=4
+        )
+        assert optimal[-1].cycles <= greedy[-1].cycles + 1e-9
+
+    def test_unknown_method_rejected(self, tiny_program):
+        with pytest.raises(ValueError):
+            build_configuration_curve(tiny_program, [], method="magic")
+
+    def test_unknown_objective_rejected(self, tiny_program):
+        with pytest.raises(ValueError):
+            build_configuration_curve(tiny_program, [], objective="speed")
+
+    def test_no_candidates_gives_software_only(self, tiny_program):
+        curve = build_configuration_curve(tiny_program, [])
+        assert len(curve) == 1
+
+    def test_selected_candidates_consistent_with_cycles(self, tiny_program):
+        lib = build_candidate_library(tiny_program)
+        curve = build_configuration_curve(tiny_program, lib.candidates)
+        for pt in curve[1:]:
+            total_area = sum(lib.candidates[i].area for i in pt.selected)
+            assert total_area == pytest.approx(pt.area)
+
+
+class TestDownsample:
+    def _curve(self, n):
+        return [
+            TaskConfiguration(area=float(i), cycles=float(100 - i)) for i in range(n)
+        ]
+
+    def test_short_curve_unchanged(self):
+        pts = self._curve(5)
+        assert downsample_curve(pts, 10) == pts
+
+    def test_endpoints_kept(self):
+        pts = self._curve(50)
+        out = downsample_curve(pts, 8)
+        assert out[0] == pts[0]
+        assert out[-1] == pts[-1]
+
+    def test_size_bound(self):
+        out = downsample_curve(self._curve(100), 8)
+        assert len(out) <= 8
+
+    def test_sorted_by_area(self):
+        out = downsample_curve(self._curve(60), 12)
+        areas = [p.area for p in out]
+        assert areas == sorted(areas)
+
+    def test_min_points_validation(self):
+        with pytest.raises(ValueError):
+            downsample_curve(self._curve(5), 1)
+
+
+class TestCustomizedCost:
+    def test_cost_reduced_by_gain(self, tiny_program):
+        lib = build_candidate_library(tiny_program)
+        if not lib.candidates:
+            pytest.skip("no candidates in tiny program")
+        bind = customized_block_cost(lib.candidates, [0])
+        cost = bind(tiny_program)
+        c = lib.candidates[0]
+        block = tiny_program.basic_blocks[c.block_index]
+        assert cost(block) == pytest.approx(
+            block.dfg.sw_cycles() - c.gain_per_exec
+        )
+
+    def test_other_blocks_unchanged(self, tiny_program):
+        lib = build_candidate_library(tiny_program)
+        if not lib.candidates:
+            pytest.skip("no candidates")
+        bind = customized_block_cost(lib.candidates, [0])
+        cost = bind(tiny_program)
+        c = lib.candidates[0]
+        for i, block in enumerate(tiny_program.basic_blocks):
+            if i != c.block_index:
+                assert cost(block) == pytest.approx(block.dfg.sw_cycles())

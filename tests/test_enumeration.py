@@ -1,0 +1,106 @@
+"""Tests for MISO/MIMO candidate enumeration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enumeration.mimo import enumerate_connected, enumerate_exhaustive
+from repro.enumeration.miso import maximal_misos
+from repro.graphs.dfg import DataFlowGraph
+from repro.isa.opcodes import Opcode
+from tests.conftest import random_small_dfg
+
+
+class TestMiso:
+    def test_chain_yields_cone(self, chain_dfg):
+        patterns = maximal_misos(chain_dfg, max_inputs=4)
+        assert frozenset([0, 1, 2]) in patterns
+
+    def test_input_constraint_limits_cone(self, chain_dfg):
+        patterns = maximal_misos(chain_dfg, max_inputs=2)
+        # Full chain needs 4 inputs; cones must stay within 2.
+        for p in patterns:
+            assert chain_dfg.io_count(p).inputs <= 2
+
+    def test_all_patterns_single_output(self, diamond_dfg):
+        for p in maximal_misos(diamond_dfg, max_inputs=4):
+            assert diamond_dfg.io_count(p).outputs <= 1
+
+    def test_no_singletons(self, diamond_dfg):
+        for p in maximal_misos(diamond_dfg, max_inputs=4):
+            assert len(p) >= 2
+
+    def test_invalid_nodes_excluded(self, load_split_dfg):
+        for p in maximal_misos(load_split_dfg, max_inputs=4):
+            assert all(load_split_dfg.is_valid_node(n) for n in p)
+
+
+class TestExhaustive:
+    def test_all_results_feasible(self, diamond_dfg):
+        for sub in enumerate_exhaustive(diamond_dfg, 4, 2):
+            assert diamond_dfg.is_feasible(sub, 4, 2)
+
+    def test_finds_full_diamond(self, diamond_dfg):
+        subs = enumerate_exhaustive(diamond_dfg, 4, 2)
+        assert frozenset([0, 1, 2, 3]) in subs
+
+    def test_excludes_nonconvex(self, diamond_dfg):
+        subs = enumerate_exhaustive(diamond_dfg, 8, 8)
+        assert frozenset([0, 3]) not in subs
+
+    def test_size_bounds_respected(self, diamond_dfg):
+        subs = enumerate_exhaustive(diamond_dfg, 8, 8, min_size=3, max_size=3)
+        assert all(len(s) == 3 for s in subs)
+
+    def test_node_restriction(self, diamond_dfg):
+        subs = enumerate_exhaustive(diamond_dfg, 8, 8, nodes=[0, 1])
+        assert all(s <= {0, 1} for s in subs)
+
+
+class TestConnected:
+    def test_results_feasible_and_connected(self):
+        dfg = random_small_dfg(3, 12)
+        subs = enumerate_connected(dfg, 4, 2)
+        import networkx as nx
+
+        und = dfg.to_networkx().to_undirected()
+        for s in subs:
+            assert dfg.is_feasible(s, 4, 2)
+            assert nx.is_connected(und.subgraph(s))
+
+    def test_no_duplicates(self):
+        dfg = random_small_dfg(5, 14)
+        subs = enumerate_connected(dfg, 4, 2)
+        assert len(subs) == len(set(subs))
+
+    def test_candidate_cap_respected(self):
+        dfg = random_small_dfg(7, 20)
+        subs = enumerate_connected(dfg, 4, 2, max_candidates=5)
+        assert len(subs) <= 5
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_exhaustive_connected_subset(self, seed):
+        """Every connected feasible subgraph found exhaustively is found by
+        the ESU enumerator on small graphs (with generous budgets)."""
+        import networkx as nx
+
+        dfg = random_small_dfg(seed, 8)
+        esu = set(
+            enumerate_connected(
+                dfg, 4, 2, max_size=8, max_candidates=10000, max_visited=10**6
+            )
+        )
+        und = dfg.to_networkx().to_undirected()
+        for sub in enumerate_exhaustive(dfg, 4, 2):
+            sub_nodes = set(sub)
+            if nx.is_connected(und.subgraph(sub_nodes)):
+                assert sub in esu
+
+    def test_deterministic(self):
+        dfg = random_small_dfg(11, 16)
+        a = enumerate_connected(dfg, 4, 2)
+        b = enumerate_connected(dfg, 4, 2)
+        assert a == b

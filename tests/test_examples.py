@@ -1,0 +1,44 @@
+"""Smoke tests: the fast example scripts must run cleanly end to end.
+
+(The slower walkthroughs — JPEG reconfiguration with exhaustive search,
+the Pareto and iterative-codesign demos — are exercised through the
+benchmark suite instead.)
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+FAST_EXAMPLES = (
+    "quickstart.py",
+    "custom_hardware_import.py",
+    "mpsoc_customization.py",
+    "biomonitoring.py",
+)
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 9
+    for script in scripts:
+        text = script.read_text()
+        assert text.lstrip().startswith('"""'), f"{script.name} lacks a docstring"
+        assert "def main()" in text, f"{script.name} lacks a main()"

@@ -1,0 +1,236 @@
+"""Tests for the extension modules: disconnected candidates, ISEGEN,
+reconfiguration variants, and MPSoC customization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enumeration import (
+    components_independent,
+    enumerate_connected,
+    pair_disconnected,
+)
+from repro.graphs.dfg import DataFlowGraph
+from repro.isa.opcodes import Opcode
+from repro.mlgp import isegen_selection, iterative_selection
+from repro.reconfig import (
+    iterative_partition,
+    iterative_partition_partial,
+    partial_net_gain,
+    temporal_only_partition,
+)
+from repro.workloads.loops import synthetic_loops, synthetic_trace
+from tests.conftest import random_small_dfg
+
+
+class TestDisconnected:
+    def _two_islands(self) -> DataFlowGraph:
+        """Two independent 2-op chains; the union needs 4 inputs total."""
+        dfg = DataFlowGraph("islands")
+        a0 = dfg.add_op(Opcode.NOT)  # 1 external input
+        a1 = dfg.add_op(Opcode.MUL, preds=[a0])  # 1 external input
+        b0 = dfg.add_op(Opcode.NOT)  # 1 external input
+        b1 = dfg.add_op(Opcode.SHL, preds=[b0])  # 1 external input
+        return dfg
+
+    def test_independent_components_detected(self):
+        dfg = self._two_islands()
+        assert components_independent(dfg, frozenset({0, 1}), frozenset({2, 3}))
+
+    def test_dependent_components_rejected(self, diamond_dfg):
+        # {0} feeds {3} through {1,2}: not independent.
+        assert not components_independent(
+            diamond_dfg, frozenset({0}), frozenset({3})
+        )
+
+    def test_overlapping_components_rejected(self, diamond_dfg):
+        assert not components_independent(
+            diamond_dfg, frozenset({0, 1}), frozenset({1, 2})
+        )
+
+    def test_pairing_respects_io(self):
+        dfg = self._two_islands()
+        connected = [frozenset({0, 1}), frozenset({2, 3})]
+        # Union needs 4 inputs and 2 outputs: allowed at (4, 2).
+        pairs = pair_disconnected(dfg, connected, max_inputs=4, max_outputs=2)
+        assert frozenset({0, 1, 2, 3}) in pairs
+        # Tighter input budget rejects the union.
+        assert pair_disconnected(dfg, connected, max_inputs=3, max_outputs=2) == []
+
+    def test_parallel_hw_latency_beats_sequential(self):
+        """The whole point: a disconnected pair's critical path is the max
+        of the components, not the sum."""
+        from repro.isa.costmodel import DEFAULT_COST_MODEL as m
+
+        dfg = self._two_islands()
+        union = sorted({0, 1, 2, 3})
+        preds = {n: [p for p in dfg.preds(n) if p in union] for n in union}
+        ops = {n: dfg.op(n) for n in union}
+        delay = m.critical_path_delay(union, preds, ops)
+        a_delay = m.critical_path_delay([0, 1], {0: [], 1: [0]}, ops)
+        assert delay == pytest.approx(max(a_delay, 0.05 + 0.25))
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=15, deadline=None)
+    def test_pairs_are_feasible(self, seed):
+        dfg = random_small_dfg(seed, 14)
+        connected = enumerate_connected(dfg, 4, 2, max_size=5)
+        for union in pair_disconnected(dfg, connected[:20], 4, 2, max_pairs=50):
+            io = dfg.io_count(union)
+            assert io.inputs <= 4 and io.outputs <= 2
+            assert dfg.is_convex(union)
+
+
+class TestIsegen:
+    def test_cuts_disjoint_feasible_profitable(self):
+        dfg = random_small_dfg(41, 25)
+        steps = isegen_selection(dfg, max_iterations=6)
+        seen: set[int] = set()
+        for s in steps:
+            assert not (s.nodes & seen)
+            seen |= s.nodes
+            assert dfg.is_feasible(s.nodes, 4, 2)
+            assert s.gain > 0
+
+    def test_comparable_to_is_on_small_blocks(self):
+        """ISEGEN should reach a meaningful fraction of IS's total gain."""
+        dfg = random_small_dfg(42, 20)
+        is_gain = sum(s.gain for s in iterative_selection(dfg, max_iterations=8))
+        isegen_gain = sum(s.gain for s in isegen_selection(dfg, max_iterations=8))
+        if is_gain > 0:
+            assert isegen_gain >= 0.4 * is_gain
+
+    def test_max_iterations_respected(self):
+        dfg = random_small_dfg(43, 30)
+        assert len(isegen_selection(dfg, max_iterations=2)) <= 2
+
+    def test_runs_on_large_block_quickly(self):
+        import time
+
+        dfg = random_small_dfg(44, 300)
+        t0 = time.perf_counter()
+        steps = isegen_selection(dfg, max_iterations=10, time_budget=20.0)
+        assert time.perf_counter() - t0 < 25.0
+        assert steps  # finds something on a large block
+
+
+class TestTemporalOnly:
+    def test_single_loop_per_configuration(self):
+        loops = synthetic_loops(8, seed=3)
+        trace = synthetic_trace(8, seed=3)
+        sol = temporal_only_partition(loops, trace, 150.0, 400.0)
+        hw = sol.partition.hardware_loops()
+        configs = [sol.partition.config_of[i] for i in hw]
+        assert len(configs) == len(set(configs))
+
+    def test_never_beats_spatial_sharing(self):
+        """Temporal+spatial reconfiguration dominates temporal-only (it can
+        always emulate it)."""
+        for seed in (1, 2, 5):
+            loops = synthetic_loops(8, seed=seed)
+            trace = synthetic_trace(8, seed=seed)
+            spatial = iterative_partition(loops, trace, 150.0, 400.0)
+            temporal = temporal_only_partition(loops, trace, 150.0, 400.0)
+            assert spatial.gain >= temporal.gain - 1e-9
+
+    def test_high_rho_forces_software(self):
+        loops = synthetic_loops(6, seed=9)
+        trace = synthetic_trace(6, seed=9)
+        sol = temporal_only_partition(loops, trace, 150.0, rho=1e9)
+        # At most one loop can stay in hardware (no transitions = no cost).
+        assert len(sol.partition.hardware_loops()) <= 1
+
+
+class TestPartialReconfig:
+    def test_partial_cost_scales_with_loaded_area(self):
+        loops = synthetic_loops(5, seed=4)
+        trace = synthetic_trace(5, seed=4)
+        sol = iterative_partition(loops, trace, 150.0, 400.0)
+        g_small = partial_net_gain(loops, sol.partition, trace, 0.1)
+        g_large = partial_net_gain(loops, sol.partition, trace, 10.0)
+        assert g_small >= g_large
+
+    def test_zero_unit_cost_equals_raw_gain(self):
+        loops = synthetic_loops(5, seed=6)
+        trace = synthetic_trace(5, seed=6)
+        sol = iterative_partition(loops, trace, 150.0, 0.0)
+        raw = sum(
+            loops[i].versions[j].gain
+            for i, j in enumerate(sol.partition.selection)
+        )
+        assert partial_net_gain(loops, sol.partition, trace, 0.0) == pytest.approx(raw)
+
+    def test_partial_beats_constant_cost_model(self):
+        """Partial reconfiguration pays area-proportional costs, which can
+        only help relative to full-fabric reloads at the same unit price."""
+        loops = synthetic_loops(8, seed=7)
+        trace = synthetic_trace(8, seed=7)
+        max_area, unit = 150.0, 3.0
+        full = iterative_partition(loops, trace, max_area, unit * max_area)
+        _sol, partial_gain = iterative_partition_partial(
+            loops, trace, max_area, unit
+        )
+        assert partial_gain >= full.gain - 1e-9
+
+
+class TestMpsoc:
+    def _tasks(self):
+        from repro.rtsched import PeriodicTask
+        from repro.selection.config_curve import TaskConfiguration
+
+        def t(name, period, configs):
+            return PeriodicTask(
+                name=name,
+                period=period,
+                wcet=configs[0][1],
+                configurations=tuple(
+                    TaskConfiguration(a, c) for a, c in configs
+                ),
+            )
+
+        return [
+            t("a", 10, [(0, 6), (4, 3)]),
+            t("b", 10, [(0, 6), (4, 3)]),
+            t("c", 20, [(0, 8), (6, 4)]),
+            t("d", 20, [(0, 8), (6, 4)]),
+        ]
+
+    def test_worst_fit_balances(self):
+        from repro.core import partition_tasks_worst_fit
+
+        bins = partition_tasks_worst_fit(self._tasks(), 2)
+        loads = [sum(t.utilization for t in b) for b in bins]
+        assert abs(loads[0] - loads[1]) < 0.2 + 1e-9
+
+    def test_customization_lowers_max_utilization(self):
+        from repro.core import customize_mpsoc
+
+        tasks = self._tasks()
+        zero = customize_mpsoc(tasks, 2, total_area=0.0)
+        full = customize_mpsoc(tasks, 2, total_area=20.0)
+        assert full.max_utilization < zero.max_utilization
+
+    def test_budgets_within_total(self):
+        from repro.core import customize_mpsoc
+
+        res = customize_mpsoc(self._tasks(), 2, total_area=10.0)
+        assert sum(res.budgets) <= 10.0 + 1e-9
+
+    def test_single_processor_equals_chapter3(self):
+        from repro.core import customize_mpsoc, select_edf
+        from repro.rtsched import TaskSet
+
+        tasks = self._tasks()
+        res = customize_mpsoc(tasks, 1, total_area=20.0)
+        direct = select_edf(TaskSet(tasks), 20.0)
+        assert res.max_utilization == pytest.approx(direct.utilization)
+
+    def test_more_processors_never_worse(self):
+        from repro.core import customize_mpsoc
+
+        tasks = self._tasks()
+        one = customize_mpsoc(tasks, 1, total_area=12.0)
+        two = customize_mpsoc(tasks, 2, total_area=12.0)
+        assert two.max_utilization <= one.max_utilization + 1e-9

@@ -1,0 +1,102 @@
+"""Tests for hot-loop extraction from program models (Figure 6.3 flow)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.program import Block, Loop, Program, Seq
+from repro.reconfig import extract_hot_loops, iterative_partition, spatial_select
+from repro.workloads import get_program, synth_pipeline_program
+from tests.conftest import random_small_dfg
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return synth_pipeline_program("testpipe", n_kernels=4, frames=10)
+
+
+class TestPipelineProgram:
+    def test_structure(self, pipeline):
+        # init block + one block per kernel stage.
+        assert len(pipeline.basic_blocks) == 5
+
+    def test_deterministic(self):
+        a = synth_pipeline_program("p", n_kernels=3)
+        b = synth_pipeline_program("p", n_kernels=3)
+        assert a.wcet() == b.wcet()
+
+    def test_salt_varies(self):
+        a = synth_pipeline_program("p", n_kernels=3, salt=0)
+        b = synth_pipeline_program("p", n_kernels=3, salt=1)
+        assert a.wcet() != b.wcet()
+
+
+class TestExtraction:
+    def test_extracts_all_kernel_loops(self, pipeline):
+        ex = extract_hot_loops(pipeline)
+        # Four kernel stages; the outer frame loop owns no blocks directly
+        # and therefore cannot become a hot loop itself.
+        assert len(ex.loops) == 4
+
+    def test_version_curves_monotone(self, pipeline):
+        ex = extract_hot_loops(pipeline)
+        for lp in ex.loops:
+            areas = [v.area for v in lp.versions]
+            gains = [v.gain for v in lp.versions]
+            assert areas == sorted(areas)
+            assert gains == sorted(gains)
+            assert lp.versions[0].area == 0 and lp.versions[0].gain == 0
+
+    def test_version_count_capped(self, pipeline):
+        ex = extract_hot_loops(pipeline, max_versions=4)
+        assert all(lp.n_versions <= 4 for lp in ex.loops)
+
+    def test_trace_covers_all_loops_and_alternates(self, pipeline):
+        ex = extract_hot_loops(pipeline)
+        assert set(ex.trace) == set(range(len(ex.loops)))
+        # Pipeline stages repeat per frame: the trace revisits each loop.
+        first = ex.trace.index(0)
+        assert 0 in ex.trace[first + 1 :]
+
+    def test_coverage_reported(self, pipeline):
+        ex = extract_hot_loops(pipeline)
+        assert 0.5 <= ex.coverage <= 1.0
+
+    def test_cold_program_no_loops(self):
+        prog = Program("cold", Seq([Block(random_small_dfg(1, 6))]))
+        ex = extract_hot_loops(prog)
+        assert ex.loops == ()
+        assert ex.trace == ()
+
+    def test_threshold_filters_minor_loops(self):
+        big = Loop(Block(random_small_dfg(2, 40)), bound=100)
+        tiny = Loop(Block(random_small_dfg(3, 4)), bound=2)
+        prog = Program("mix", Seq([big, tiny]))
+        ex_all = extract_hot_loops(prog, hot_threshold=0.0001)
+        ex_hot = extract_hot_loops(prog, hot_threshold=0.05)
+        assert len(ex_hot.loops) < len(ex_all.loops)
+
+
+class TestExtractionEndToEnd:
+    def test_partitioning_on_extracted_loops(self, pipeline):
+        ex = extract_hot_loops(pipeline)
+        loops, trace = list(ex.loops), list(ex.trace)
+        max_area = 0.4 * sum(max(v.area for v in lp.versions) for lp in loops)
+        _sel, static_gain = spatial_select(loops, max_area)
+        free = iterative_partition(loops, trace, max_area, rho=0.0)
+        # Free reconfiguration must realize at least the static gain.
+        assert free.gain >= static_gain - 1e-9
+
+    def test_rho_sweep_monotone(self, pipeline):
+        ex = extract_hot_loops(pipeline)
+        loops, trace = list(ex.loops), list(ex.trace)
+        max_area = 0.4 * sum(max(v.area for v in lp.versions) for lp in loops)
+        gains = [
+            iterative_partition(loops, trace, max_area, rho=r).gain
+            for r in (0.0, 100.0, 10_000.0, 1e7)
+        ]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_single_loop_benchmarks_extract_one(self):
+        ex = extract_hot_loops(get_program("crc32"))
+        assert len(ex.loops) == 1

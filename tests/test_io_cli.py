@@ -1,0 +1,143 @@
+"""Tests for JSON serialization, text reports and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import io as repro_io
+from repro.cli import main
+from repro.errors import ReproError
+from repro.mtreconfig import synthetic_reconfig_tasks
+from repro.report import format_curve, format_table, sparkline
+from repro.rtsched import PeriodicTask, TaskSet
+from repro.selection.config_curve import TaskConfiguration
+from repro.workloads import jpeg_loops, jpeg_trace
+
+
+def _task_set() -> TaskSet:
+    t = PeriodicTask(
+        name="t",
+        period=10.0,
+        wcet=4.0,
+        configurations=(
+            TaskConfiguration(0.0, 4.0),
+            TaskConfiguration(3.0, 2.0),
+        ),
+    )
+    return TaskSet([t], name="demo")
+
+
+class TestIo:
+    def test_task_set_roundtrip(self, tmp_path):
+        ts = _task_set()
+        path = tmp_path / "ts.json"
+        repro_io.save_json(repro_io.task_set_to_dict(ts), path)
+        loaded = repro_io.task_set_from_dict(repro_io.load_json(path))
+        assert loaded.name == "demo"
+        assert loaded[0].period == 10.0
+        assert loaded[0].configurations == ts[0].configurations
+
+    def test_hot_loops_roundtrip(self, tmp_path):
+        loops, trace = jpeg_loops(), jpeg_trace(2)
+        path = tmp_path / "loops.json"
+        repro_io.save_json(repro_io.hot_loops_to_dict(loops, trace), path)
+        loaded_loops, loaded_trace = repro_io.hot_loops_from_dict(
+            repro_io.load_json(path)
+        )
+        assert loaded_trace == trace
+        assert [lp.name for lp in loaded_loops] == [lp.name for lp in loops]
+        assert loaded_loops[0].versions == loops[0].versions
+
+    def test_reconfig_tasks_roundtrip(self, tmp_path):
+        tasks = synthetic_reconfig_tasks(3, seed=1)
+        path = tmp_path / "mt.json"
+        repro_io.save_json(repro_io.reconfig_tasks_to_dict(tasks), path)
+        loaded = repro_io.reconfig_tasks_from_dict(repro_io.load_json(path))
+        assert loaded == tasks
+
+    def test_schema_validation(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/v9"}))
+        with pytest.raises(ReproError):
+            repro_io.load_json(path)
+
+    def test_kind_validation(self):
+        data = repro_io.task_set_to_dict(_task_set())
+        with pytest.raises(ReproError):
+            repro_io.hot_loops_from_dict(data)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "value"], [("a", 1.5), ("long-name", 20)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        assert "long-name" in lines[3]
+
+    def test_sparkline_range(self):
+        s = sparkline([0, 1, 2, 3])
+        assert len(s) == 4
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_sparkline_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_format_curve_contains_both(self):
+        out = format_curve([0, 1], [10, 5], "x", "y")
+        assert "x" in out and "y:" in out
+
+
+class TestCli:
+    def test_benchmarks_lists(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "crc32" in out and "sha" in out
+
+    def test_curve_and_save(self, tmp_path, capsys):
+        out_file = tmp_path / "crc32.json"
+        assert main(["curve", "crc32", "--output", str(out_file)]) == 0
+        assert out_file.exists()
+        loaded = repro_io.task_set_from_dict(repro_io.load_json(out_file))
+        assert loaded[0].name == "crc32"
+
+    def test_customize_from_json(self, tmp_path, capsys):
+        ts_file = tmp_path / "ts.json"
+        repro_io.save_json(repro_io.task_set_to_dict(_task_set()), ts_file)
+        code = main(["customize", "x", "--input", str(ts_file), "--area", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "utilization after" in out
+
+    def test_customize_synthetic(self, capsys):
+        code = main(
+            ["customize", "crc32", "ndes", "--utilization", "1.05"]
+        )
+        assert code == 0
+
+    def test_reconfig_default_jpeg(self, capsys):
+        assert main(["reconfig"]) == 0
+        out = capsys.readouterr().out
+        assert "iterative" in out and "fdct_row" in out
+
+    def test_reconfig_from_json(self, tmp_path, capsys):
+        loops, trace = jpeg_loops(), jpeg_trace(4)
+        path = tmp_path / "loops.json"
+        repro_io.save_json(repro_io.hot_loops_to_dict(loops, trace), path)
+        assert main(["reconfig", "--input", str(path)]) == 0
+
+    def test_reconfig_missing_trace_errors(self, tmp_path, capsys):
+        loops = jpeg_loops()
+        path = tmp_path / "loops.json"
+        repro_io.save_json(repro_io.hot_loops_to_dict(loops), path)
+        assert main(["reconfig", "--input", str(path)]) == 2
+
+    def test_pareto(self, capsys):
+        assert main(["pareto", "crc32", "lms", "--eps", "3.0"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto" in out

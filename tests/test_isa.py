@@ -1,0 +1,103 @@
+"""Tests for the ISA opcode table and hardware cost model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.isa import (
+    DEFAULT_COST_MODEL,
+    HardwareCostModel,
+    OP_TABLE,
+    Opcode,
+    is_valid_op,
+    op_info,
+)
+
+
+class TestOpTable:
+    def test_every_opcode_has_info(self):
+        for op in Opcode:
+            info = op_info(op)
+            assert info.sw_cycles >= 1
+            assert info.hw_delay >= 0.0
+            assert info.hw_area >= 0.0
+
+    def test_memory_and_control_ops_invalid(self):
+        for op in (Opcode.LOAD, Opcode.STORE, Opcode.BRANCH, Opcode.CALL, Opcode.RETURN):
+            assert not is_valid_op(op)
+
+    def test_arithmetic_ops_valid(self):
+        for op in (Opcode.ADD, Opcode.MUL, Opcode.XOR, Opcode.SHL, Opcode.SELECT):
+            assert is_valid_op(op)
+
+    def test_adder_is_area_unit(self):
+        assert op_info(Opcode.ADD).hw_area == 1.0
+
+    def test_mac_is_delay_unit(self):
+        assert op_info(Opcode.MAC).hw_delay == 1.0
+
+    def test_multiplier_costs_more_than_adder(self):
+        assert op_info(Opcode.MUL).hw_area > op_info(Opcode.ADD).hw_area
+        assert op_info(Opcode.MUL).hw_delay > op_info(Opcode.ADD).hw_delay
+
+    def test_arity_matches_semantics(self):
+        assert op_info(Opcode.CONST).arity == 0
+        assert op_info(Opcode.NOT).arity == 1
+        assert op_info(Opcode.ADD).arity == 2
+        assert op_info(Opcode.SELECT).arity == 3
+
+
+class TestHardwareCostModel:
+    def test_invalid_cycle_delay_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareCostModel(cycle_delay=0.0)
+
+    def test_hw_cycles_minimum_one(self):
+        assert DEFAULT_COST_MODEL.hw_cycles(0.0) == 1
+        assert DEFAULT_COST_MODEL.hw_cycles(1e-9) == 1
+
+    def test_hw_cycles_rounds_up(self):
+        assert DEFAULT_COST_MODEL.hw_cycles(1.01) == 2
+        assert DEFAULT_COST_MODEL.hw_cycles(2.0) == 2
+
+    def test_critical_path_chain(self):
+        # Chain of three adds: delay accumulates.
+        nodes = [0, 1, 2]
+        preds = {0: [], 1: [0], 2: [1]}
+        ops = {i: Opcode.ADD for i in nodes}
+        delay = DEFAULT_COST_MODEL.critical_path_delay(nodes, preds, ops)
+        assert delay == pytest.approx(3 * op_info(Opcode.ADD).hw_delay)
+
+    def test_critical_path_parallel(self):
+        # Two parallel adds joining at a third: depth 2, not 3.
+        nodes = [0, 1, 2]
+        preds = {0: [], 1: [], 2: [0, 1]}
+        ops = {i: Opcode.ADD for i in nodes}
+        delay = DEFAULT_COST_MODEL.critical_path_delay(nodes, preds, ops)
+        assert delay == pytest.approx(2 * op_info(Opcode.ADD).hw_delay)
+
+    def test_subgraph_cost_gain_positive_for_chain(self):
+        nodes = [0, 1, 2, 3]
+        preds = {0: [], 1: [0], 2: [1], 3: [2]}
+        ops = {i: Opcode.ADD for i in nodes}
+        cost = DEFAULT_COST_MODEL.subgraph_cost(nodes, preds, ops)
+        assert cost.sw_cycles == 4
+        assert cost.hw_cycles == 2  # 4 x 0.35 = 1.4 -> 2 cycles
+        assert cost.gain == 2
+        assert cost.area == pytest.approx(4.0)
+
+    def test_subgraph_sw_cycles_additive(self):
+        ops = [Opcode.ADD, Opcode.MUL, Opcode.DIV]
+        expected = sum(op_info(o).sw_cycles for o in ops)
+        assert DEFAULT_COST_MODEL.subgraph_sw_cycles(ops) == expected
+
+    def test_faster_clock_needs_more_cycles(self):
+        fast = HardwareCostModel(cycle_delay=0.5)
+        nodes = [0, 1, 2]
+        preds = {0: [], 1: [0], 2: [1]}
+        ops = {i: Opcode.MUL for i in nodes}
+        slow_cost = DEFAULT_COST_MODEL.subgraph_cost(nodes, preds, ops)
+        fast_cost = fast.subgraph_cost(nodes, preds, ops)
+        assert fast_cost.hw_cycles > slow_cost.hw_cycles

@@ -1,0 +1,119 @@
+"""Tests for candidates, candidate libraries and library construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enumeration.library import build_candidate_library, hot_block_indices
+from repro.enumeration.patterns import Candidate, CandidateLibrary, make_candidate
+from repro.graphs.dfg import DataFlowGraph
+from repro.graphs.program import Block, Loop, Program, Seq
+from repro.isa.opcodes import Opcode
+from tests.conftest import random_small_dfg
+
+
+class TestCandidate:
+    def test_make_candidate_costs(self, chain_dfg):
+        c = make_candidate(chain_dfg, [0, 1, 2], frequency=10.0)
+        assert c.sw_cycles == 1 + 3 + 1  # add, mul, sub
+        assert c.hw_cycles >= 1
+        assert c.gain_per_exec == c.sw_cycles - c.hw_cycles
+        assert c.total_gain == c.gain_per_exec * 10.0
+        assert c.area == pytest.approx(1.0 + 18.0 + 1.0)
+
+    def test_overlap_same_block(self, chain_dfg):
+        a = make_candidate(chain_dfg, [0, 1], block_index=0)
+        b = make_candidate(chain_dfg, [1, 2], block_index=0)
+        c = make_candidate(chain_dfg, [1, 2], block_index=1)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # different block
+
+    def test_size(self, chain_dfg):
+        assert make_candidate(chain_dfg, [0, 1]).size == 2
+
+
+class TestCandidateLibrary:
+    def test_conflicts_detects_overlap(self, chain_dfg):
+        lib = CandidateLibrary(
+            [
+                make_candidate(chain_dfg, [0, 1], block_index=0),
+                make_candidate(chain_dfg, [1, 2], block_index=0),
+                make_candidate(chain_dfg, [0, 1], block_index=1),
+            ]
+        )
+        assert lib.conflicts() == [(0, 1)]
+
+    def test_isomorphism_classes_group_identical_shapes(self):
+        dfg = DataFlowGraph()
+        a0 = dfg.add_op(Opcode.ADD)
+        a1 = dfg.add_op(Opcode.MUL, preds=[a0])
+        b0 = dfg.add_op(Opcode.ADD)
+        b1 = dfg.add_op(Opcode.MUL, preds=[b0])
+        lib = CandidateLibrary(
+            [make_candidate(dfg, [a0, a1]), make_candidate(dfg, [b0, b1])]
+        )
+        classes = lib.isomorphism_classes()
+        assert len(classes) == 1
+        assert sorted(next(iter(classes.values()))) == [0, 1]
+
+    def test_profitable_filter(self, chain_dfg):
+        good = make_candidate(chain_dfg, [0, 1, 2], frequency=5.0)
+        bad = Candidate(
+            block_index=0,
+            nodes=frozenset([0]),
+            sw_cycles=1,
+            hw_cycles=1,
+            area=1.0,
+            inputs=2,
+            outputs=1,
+        )
+        lib = CandidateLibrary([good, bad])
+        assert len(lib.profitable()) == 1
+
+
+class TestLibraryBuild:
+    def test_hot_blocks_ordered_by_contribution(self, tiny_program):
+        hot = hot_block_indices(tiny_program, hot_threshold=0.0)
+        freq = tiny_program.profile()
+        blocks = tiny_program.basic_blocks
+        contribs = [freq[i] * blocks[i].dfg.sw_cycles() for i in hot]
+        assert contribs == sorted(contribs, reverse=True)
+
+    def test_threshold_excludes_cold_blocks(self, tiny_program):
+        # The loop body dominates; a high threshold keeps only it.
+        hot = hot_block_indices(tiny_program, hot_threshold=0.5)
+        assert hot == [1]
+
+    def test_library_candidates_profitable_and_feasible(self, tiny_program):
+        lib = build_candidate_library(tiny_program)
+        blocks = tiny_program.basic_blocks
+        for c in lib:
+            assert c.total_gain > 0
+            dfg = blocks[c.block_index].dfg
+            assert dfg.is_feasible(c.nodes, 4, 2)
+
+    def test_library_sorted_by_gain(self, tiny_program):
+        lib = build_candidate_library(tiny_program)
+        gains = [c.total_gain for c in lib]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_io_constraints_propagate(self, tiny_program):
+        lib = build_candidate_library(tiny_program, max_inputs=2, max_outputs=1)
+        for c in lib:
+            assert c.inputs <= 2
+            assert c.outputs <= 1
+
+
+class TestDisconnectedLibrary:
+    def test_disconnected_candidates_extend_library(self, tiny_program):
+        base = build_candidate_library(tiny_program)
+        extended = build_candidate_library(
+            tiny_program, include_disconnected=True
+        )
+        assert len(extended) >= len(base)
+
+    def test_disconnected_candidates_feasible(self, tiny_program):
+        lib = build_candidate_library(tiny_program, include_disconnected=True)
+        blocks = tiny_program.basic_blocks
+        for c in lib:
+            assert blocks[c.block_index].dfg.is_feasible(c.nodes, 4, 2)

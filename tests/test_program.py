@@ -1,0 +1,105 @@
+"""Tests for the structured program model (timing schema, profiles)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.dfg import DataFlowGraph
+from repro.graphs.program import Block, IfElse, Loop, Program, Seq
+from repro.isa.opcodes import Opcode
+from tests.conftest import random_small_dfg
+
+
+def _block(cycles: int) -> Block:
+    """A block of exactly *cycles* single-cycle XOR ops."""
+    dfg = DataFlowGraph()
+    prev = None
+    for _ in range(cycles):
+        prev = dfg.add_op(Opcode.XOR, preds=[prev] if prev is not None else [])
+    return Block(dfg)
+
+
+class TestTimingSchema:
+    def test_seq_sums(self):
+        p = Program("p", Seq([_block(3), _block(5)]))
+        assert p.wcet() == 8
+
+    def test_loop_multiplies(self):
+        p = Program("p", Loop(_block(4), bound=10))
+        assert p.wcet() == 40
+
+    def test_ifelse_takes_max(self):
+        p = Program("p", IfElse(_block(3), _block(9)))
+        assert p.wcet() == 9
+
+    def test_nested_structure(self):
+        inner = Loop(_block(2), bound=5)  # 10
+        outer = Loop(Seq([_block(1), inner]), bound=3)  # 3 * 11
+        p = Program("p", Seq([_block(4), outer]))
+        assert p.wcet() == 4 + 33
+
+    def test_loop_bound_validation(self):
+        with pytest.raises(GraphError):
+            Loop(_block(1), bound=0)
+
+    def test_branch_probability_validation(self):
+        with pytest.raises(GraphError):
+            IfElse(_block(1), _block(1), taken_prob=1.5)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(GraphError):
+            Program("empty", Seq([]))
+
+    def test_custom_block_cost(self):
+        b = _block(10)
+        p = Program("p", Loop(b, bound=4))
+        assert p.wcet(lambda blk: 2.0) == 8.0
+
+
+class TestWcetPath:
+    def test_path_picks_heavier_branch(self):
+        heavy, light = _block(9), _block(2)
+        p = Program("p", IfElse(heavy, light))
+        path = p.wcet_path()
+        assert len(path) == 1
+        assert path[0].block is heavy
+
+    def test_loop_blocks_scaled_by_bound(self):
+        b = _block(2)
+        p = Program("p", Loop(b, bound=7))
+        path = p.wcet_path()
+        assert path[0].count == 7
+        assert path[0].cycles == 14
+
+    def test_path_sorted_by_contribution(self, tiny_program):
+        path = tiny_program.wcet_path()
+        cycles = [w.cycles for w in path]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_path_cycles_sum_to_wcet(self, tiny_program):
+        path = tiny_program.wcet_path()
+        assert sum(w.cycles for w in path) == pytest.approx(tiny_program.wcet())
+
+
+class TestProfile:
+    def test_profile_uses_avg_trip(self):
+        b = _block(2)
+        p = Program("p", Loop(b, bound=10, avg_trip=4.0))
+        freq = p.profile()
+        assert freq[0] == pytest.approx(4.0)
+
+    def test_branch_probabilities_split_frequency(self):
+        t, e = _block(1), _block(1)
+        p = Program("p", IfElse(t, e, taken_prob=0.3))
+        freq = p.profile()
+        assert freq[0] == pytest.approx(0.3)
+        assert freq[1] == pytest.approx(0.7)
+
+    def test_avg_cycles_below_wcet_with_short_avg_trip(self, tiny_program):
+        assert tiny_program.avg_cycles() < tiny_program.wcet()
+
+    def test_block_stats(self, tiny_program):
+        mx, avg = tiny_program.block_stats()
+        assert mx == 8
+        assert avg == pytest.approx((4 + 8 + 3) / 3)

@@ -1,0 +1,210 @@
+"""Cross-module property-based tests on library invariants."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reconfig import (
+    build_rcg,
+    count_reconfigurations,
+    kway_partition,
+    spatial_select,
+)
+from repro.workloads.loops import synthetic_loops, synthetic_trace
+from tests.conftest import random_small_dfg
+
+
+
+def _random_taskset_local(seed: int, n_tasks: int = 3):
+    """Random task set with integer-area configuration curves."""
+    from repro.rtsched import PeriodicTask, TaskSet
+    from repro.selection.config_curve import TaskConfiguration
+
+    rng = random.Random(seed)
+    tasks = []
+    for i in range(n_tasks):
+        wcet = rng.randint(4, 20)
+        period = wcet * rng.uniform(1.2, 4.0)
+        configs = [(0.0, float(wcet))]
+        area, cycles = 0.0, float(wcet)
+        for _ in range(rng.randint(0, 3)):
+            area += rng.randint(1, 8)
+            cycles = max(1.0, cycles - rng.randint(1, 4))
+            configs.append((area, cycles))
+        tasks.append(
+            PeriodicTask(
+                name=f"t{i}",
+                period=period,
+                wcet=wcet,
+                configurations=tuple(
+                    TaskConfiguration(a, c) for a, c in configs
+                ),
+            )
+        )
+    budget = float(rng.randint(0, 30))
+    return TaskSet(tasks), budget
+
+
+class TestDfgInvariants:
+    @given(st.integers(0, 200), st.integers(2, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_regions_partition_valid_nodes(self, seed, n):
+        dfg = random_small_dfg(seed, n)
+        regions = dfg.regions()
+        flat = [x for r in regions for x in r]
+        assert sorted(flat) == sorted(dfg.valid_nodes)
+        assert len(flat) == len(set(flat))
+
+    @given(st.integers(0, 200), st.integers(2, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_io_monotone_under_union_upper_bound(self, seed, n):
+        """Union of two subgraphs never has more inputs than the sum."""
+        rng = random.Random(seed)
+        dfg = random_small_dfg(seed, n)
+        a = set(rng.sample(range(n), rng.randint(1, n)))
+        b = set(rng.sample(range(n), rng.randint(1, n)))
+        io_a, io_b = dfg.io_count(a), dfg.io_count(b)
+        io_u = dfg.io_count(a | b)
+        assert io_u.inputs <= io_a.inputs + io_b.inputs
+        assert io_u.outputs <= io_a.outputs + io_b.outputs
+
+    @given(st.integers(0, 100), st.integers(2, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_whole_graph_is_convex(self, seed, n):
+        dfg = random_small_dfg(seed, n)
+        assert dfg.is_convex(list(dfg.nodes))
+
+    @given(st.integers(0, 100), st.integers(3, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_structural_key_stable_under_relabeling(self, seed, n):
+        """Keys only depend on structure: two generations with identical
+        seeds agree node-for-node."""
+        a = random_small_dfg(seed, n)
+        b = random_small_dfg(seed, n)
+        assert a.structural_key(range(n)) == b.structural_key(range(n))
+
+
+class TestSelectionInvariants:
+    @given(st.integers(0, 150))
+    @settings(max_examples=25, deadline=None)
+    def test_edf_dp_monotone_in_budget(self, seed):
+        from repro.core import select_edf
+
+        ts, _ = _random_taskset_local(seed, n_tasks=4)
+        utils = [
+            select_edf(ts, b, scale=1).utilization for b in (0, 5, 10, 20, 40)
+        ]
+        assert utils == sorted(utils, reverse=True)
+
+    @given(st.integers(0, 150))
+    @settings(max_examples=25, deadline=None)
+    def test_edf_dp_never_exceeds_software(self, seed):
+        from repro.core import select_edf
+
+        ts, budget = _random_taskset_local(seed)
+        sel = select_edf(ts, budget, scale=1)
+        assert sel.utilization <= ts.utilization + 1e-9
+
+    @given(st.integers(0, 150))
+    @settings(max_examples=25, deadline=None)
+    def test_spatial_select_monotone_in_budget(self, seed):
+        loops = synthetic_loops(5, seed=seed)
+        gains = [
+            spatial_select(loops, float(b), scale=1)[1]
+            for b in (0, 50, 100, 200, 400)
+        ]
+        assert gains == sorted(gains)
+
+
+class TestReconfigInvariants:
+    @given(st.integers(0, 200), st.integers(3, 10), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_reconfig_count_equals_rcg_cut(self, seed, n, k):
+        """The trace reconfiguration count equals the RCG edge-cut for any
+        configuration assignment covering all loops — the equivalence that
+        justifies modeling temporal partitioning as graph partitioning
+        (thesis Section 6.3.3)."""
+        rng = random.Random(seed)
+        trace = synthetic_trace(n, seed=seed)
+        config_of = [rng.randrange(k) for _ in range(n)]
+        switches = count_reconfigurations(trace, config_of, range(n))
+        rcg = build_rcg(trace, range(n))
+        cut = sum(
+            w for (u, v), w in rcg.items() if config_of[u] != config_of[v]
+        )
+        assert switches == cut
+
+    @given(st.integers(0, 100), st.integers(4, 12), st.integers(2, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_kway_assignment_valid(self, seed, n, k):
+        rng = random.Random(seed)
+        edges = {}
+        for _ in range(n * 2):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                key = (min(u, v), max(u, v))
+                edges[key] = edges.get(key, 0.0) + rng.randint(1, 9)
+        assign = kway_partition(n, edges, k=k, seed=seed)
+        assert len(assign) == n
+        assert all(0 <= p < max(k, n) for p in assign)
+
+    @given(st.integers(0, 80))
+    @settings(max_examples=20, deadline=None)
+    def test_iterative_gain_no_worse_than_static(self, seed):
+        """Reconfiguration can always fall back to a single configuration,
+        so the iterative result dominates the static spatial optimum."""
+        from repro.reconfig import iterative_partition
+
+        loops = synthetic_loops(6, seed=seed)
+        trace = synthetic_trace(6, seed=seed)
+        _sel, static_gain = spatial_select(loops, 150.0)
+        sol = iterative_partition(loops, trace, 150.0, 400.0)
+        assert sol.gain >= static_gain - 1e-9
+
+
+class TestSimulatorInvariants:
+    @given(st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_busy_time_bounded(self, seed):
+        from repro.rtsched import simulate
+
+        rng = random.Random(seed)
+        n = rng.randint(1, 4)
+        periods = [float(rng.choice([2, 3, 4, 6, 8])) for _ in range(n)]
+        costs = [max(1.0, round(p * rng.uniform(0.1, 0.5))) for p in periods]
+        res = simulate(periods, costs, policy="edf")
+        assert 0.0 <= res.busy_time <= res.horizon + 1e-9
+        expected = sum(c * (res.horizon / p) for c, p in zip(costs, periods))
+        if res.schedulable:
+            assert res.busy_time == pytest.approx(expected)
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_edf_dominates_rm(self, seed):
+        """Anything RM can schedule, EDF can (EDF optimality)."""
+        from repro.rtsched import simulate
+
+        rng = random.Random(seed)
+        n = rng.randint(2, 4)
+        periods = [float(rng.choice([2, 3, 4, 6, 8, 12])) for _ in range(n)]
+        costs = [max(1.0, round(p * rng.uniform(0.1, 0.5))) for p in periods]
+        rm = simulate(periods, costs, policy="rm")
+        if rm.schedulable:
+            assert simulate(periods, costs, policy="edf").schedulable
+
+
+class TestEnergyInvariants:
+    @given(st.floats(0.05, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_operating_point_monotone_in_utilization(self, u):
+        from repro.rtsched import lowest_feasible_point
+
+        p_lo = lowest_feasible_point(u * 0.5, 3, "edf")
+        p_hi = lowest_feasible_point(u, 3, "edf")
+        assert p_lo is not None
+        if p_hi is not None:
+            assert p_lo.mhz <= p_hi.mhz

@@ -1,0 +1,261 @@
+"""Tests for Chapter 6 runtime reconfiguration partitioning."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.reconfig import (
+    CISVersion,
+    HotLoop,
+    Partition,
+    build_rcg,
+    count_reconfigurations,
+    edge_cut,
+    exhaustive_partition,
+    greedy_partition,
+    iterative_partition,
+    kway_partition,
+    net_gain,
+    spatial_select,
+)
+from repro.workloads.loops import synthetic_loops, synthetic_trace
+
+
+def motivating_loops() -> list[HotLoop]:
+    """Thesis Figure 6.4 loop versions (areas in AUs, gains in Kcycles)."""
+    mk = CISVersion
+    return [
+        HotLoop("loop1", (mk(0, 0), mk(257, 111), mk(301, 160), mk(1612, 563))),
+        HotLoop(
+            "loop2",
+            (mk(0, 0), mk(76, 230), mk(1041, 387), mk(1321, 426), mk(2004, 556)),
+        ),
+        HotLoop("loop3", (mk(0, 0), mk(967, 493), mk(1249, 549))),
+    ]
+
+
+def build_fig64_trace() -> list[int]:
+    """A trace realizing the Figure 6.4 reconfiguration structure.
+
+    Pairwise transition counts: w(loop2, loop3) = 31 and 18 transitions
+    touching loop1, so the solution-C cut (loop1 alone) costs 18
+    reconfigurations and the all-singletons cut costs 49, exactly as in
+    the thesis example.
+    """
+    trace: list[int] = []
+    for _ in range(16):
+        trace += [1, 2]  # 31 transitions between loop2 and loop3
+    trace += [0, 2] * 9  # 18 transitions between loop1 and loop3
+    return trace
+
+
+class TestModel:
+    def test_version_zero_must_be_software(self):
+        with pytest.raises(ReproError):
+            HotLoop("x", (CISVersion(1, 1),))
+
+    def test_best_version(self):
+        lp = motivating_loops()[0]
+        assert lp.best_version == 3
+
+    def test_count_reconfigurations_basic(self):
+        # Trace A B A B with both hw in different configs: 3 switches.
+        assert count_reconfigurations([0, 1, 0, 1], [0, 1], [0, 1]) == 3
+
+    def test_same_config_no_switches(self):
+        assert count_reconfigurations([0, 1, 0, 1], [5, 5], [0, 1]) == 0
+
+    def test_software_loops_transparent(self):
+        # Loop 1 is software; consecutive 0s around it do not switch.
+        assert count_reconfigurations([0, 1, 0], {0: 0, 1: 1}, [0]) == 0
+
+    def test_initial_load_not_counted(self):
+        assert count_reconfigurations([0], [0], [0]) == 0
+
+    def test_net_gain(self):
+        loops = motivating_loops()
+        part = Partition(selection=(2, 1, 1), config_of=(0, 0, 0))
+        trace = [0, 1, 2]
+        # One config: no reconfig. Gain = 160 + 230 + 493.
+        assert net_gain(loops, part, trace, rho=15.0) == pytest.approx(883.0)
+
+
+class TestRcg:
+    def test_thesis_figure_6_6(self):
+        # Trace ABCBCBA, all in hardware: w(A,B)=2, w(B,C)=4, no (A,C) edge.
+        a, b, c = 0, 1, 2
+        trace = [a, b, c, b, c, b, a]
+        edges = build_rcg(trace, [a, b, c])
+        assert edges[(a, b)] == 2
+        assert edges[(b, c)] == 4
+        assert (a, c) not in edges
+
+    def test_software_elision_connects_neighbours(self):
+        # B in software: A and C become adjacent (w(A,C)=2).
+        a, b, c = 0, 1, 2
+        trace = [a, b, c, b, c, b, a]
+        edges = build_rcg(trace, [a, c])
+        assert edges[(a, c)] == 2
+        assert edges[(c, c) if False else (a, c)] == 2
+
+    def test_self_transitions_free(self):
+        assert build_rcg([0, 0, 0], [0]) == {}
+
+
+class TestSpatialSelect:
+    @given(st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_bruteforce(self, seed):
+        rng = random.Random(seed)
+        loops = synthetic_loops(4, seed=seed, max_versions=4)
+        budget = float(rng.randint(20, 250))
+        sel, gain = spatial_select(loops, budget, scale=1)
+        # Brute force.
+        best = 0.0
+        for combo in itertools.product(*[range(lp.n_versions) for lp in loops]):
+            area = sum(lp.versions[j].area for lp, j in zip(loops, combo))
+            if area <= budget + 1e-9:
+                best = max(best, sum(lp.versions[j].gain for lp, j in zip(loops, combo)))
+        assert gain == pytest.approx(best)
+        assert sum(lp.versions[j].area for lp, j in zip(loops, sel)) <= budget + 1e-9
+
+    def test_zero_budget(self):
+        loops = synthetic_loops(3, seed=1)
+        sel, gain = spatial_select(loops, 0.0)
+        assert sel == [0, 0, 0]
+        assert gain == 0.0
+
+
+class TestKwayPartition:
+    def test_assignment_shape(self):
+        assign = kway_partition(6, {(0, 1): 5.0, (2, 3): 2.0}, k=2)
+        assert len(assign) == 6
+        assert all(0 <= p < 2 for p in assign)
+
+    def test_k_geq_n(self):
+        assert kway_partition(3, {}, k=5) == [0, 1, 2]
+
+    def test_k_one(self):
+        assert kway_partition(4, {(0, 1): 1.0}, k=1) == [0, 0, 0, 0]
+
+    def test_heavy_edges_kept_together(self):
+        # Two heavy cliques joined by a light edge: the cut should be light.
+        edges = {
+            (0, 1): 100.0,
+            (1, 2): 100.0,
+            (0, 2): 100.0,
+            (3, 4): 100.0,
+            (4, 5): 100.0,
+            (3, 5): 100.0,
+            (2, 3): 1.0,
+        }
+        assign = kway_partition(6, edges, k=2, seed=3)
+        assert edge_cut(edges, assign) == pytest.approx(1.0)
+
+    def test_balance_respected(self):
+        weights = [1.0] * 8
+        assign = kway_partition(8, {}, weights, k=2, imbalance=0.2)
+        sizes = [assign.count(p) for p in range(2)]
+        assert max(sizes) <= 5  # (1 + 0.2) * 8/2 = 4.8 -> at most 4 actually
+
+
+class TestAlgorithms:
+    def test_motivating_example_optimal(self):
+        """Figure 6.4: the optimal solution puts loop1 alone (v4) and
+        loop2 (v3) + loop3 (v2) together, net gain 1173K cycles."""
+        loops = motivating_loops()
+        trace = build_fig64_trace()
+        edges = build_rcg(trace, [0, 1, 2])
+        assert edges[(1, 2)] == 31
+        assert edges[(0, 2)] in (17, 18)  # alternation parity
+        sol = exhaustive_partition(loops, trace, max_area=2048.0, rho=15.0)
+        # Solution C of the thesis: selection (v4, v3, v2).
+        assert sol.partition.selection == (3, 2, 1)
+        # loop1 alone; loop2 and loop3 together.
+        cfg = sol.partition.config_of
+        assert cfg[1] == cfg[2] and cfg[0] != cfg[1]
+
+    def test_exhaustive_near_optimal_others_bounded(self):
+        """Exhaustive is exact over the thesis search space (gain-optimal
+        local selection); the iterative algorithm must stay close and may
+        exceed it via its software-demotion post-pass; greedy never beats
+        exhaustive here because it only adds profitable versions."""
+        for seed in (1, 2, 3):
+            loops = synthetic_loops(6, seed=seed)
+            trace = synthetic_trace(6, seed=seed)
+            ex = exhaustive_partition(loops, trace, 150.0, 400.0)
+            it = iterative_partition(loops, trace, 150.0, 400.0)
+            gr = greedy_partition(loops, trace, 150.0, 400.0)
+            assert it.gain >= 0.85 * ex.gain
+            assert ex.gain >= gr.gain - 1e-9
+
+    def test_iterative_selection_fits_configurations(self):
+        loops = synthetic_loops(10, seed=4)
+        trace = synthetic_trace(10, seed=4)
+        sol = iterative_partition(loops, trace, 150.0, 400.0)
+        by_cfg: dict[int, float] = {}
+        for i, j in enumerate(sol.partition.selection):
+            if j == 0:
+                continue
+            cfg = sol.partition.config_of[i]
+            by_cfg[cfg] = by_cfg.get(cfg, 0.0) + loops[i].versions[j].area
+        for area in by_cfg.values():
+            assert area <= 150.0 + 1e-9
+
+    def test_greedy_configurations_fit(self):
+        loops = synthetic_loops(12, seed=5)
+        trace = synthetic_trace(12, seed=5)
+        sol = greedy_partition(loops, trace, 150.0, 400.0)
+        by_cfg: dict[int, float] = {}
+        for i, j in enumerate(sol.partition.selection):
+            if j == 0:
+                continue
+            cfg = sol.partition.config_of[i]
+            by_cfg[cfg] = by_cfg.get(cfg, 0.0) + loops[i].versions[j].area
+        for area in by_cfg.values():
+            assert area <= 150.0 + 1e-9
+
+    def test_zero_rho_wants_max_gain(self):
+        """With free reconfiguration, iterative reaches every loop's best
+        version."""
+        loops = synthetic_loops(5, seed=6)
+        trace = synthetic_trace(5, seed=6)
+        sol = iterative_partition(loops, trace, 150.0, rho=0.0)
+        expected = sum(lp.versions[lp.best_version].gain for lp in loops)
+        assert sol.gain == pytest.approx(expected)
+
+    def test_huge_rho_forces_single_configuration(self):
+        loops = synthetic_loops(6, seed=7)
+        trace = synthetic_trace(6, seed=7)
+        sol = iterative_partition(loops, trace, 150.0, rho=1e9)
+        assert sol.n_configurations <= 1
+
+    def test_exhaustive_time_budget(self):
+        from repro.errors import SolverError
+
+        loops = synthetic_loops(14, seed=8)
+        trace = synthetic_trace(14, seed=8)
+        with pytest.raises(SolverError):
+            exhaustive_partition(loops, trace, 150.0, 400.0, time_budget=0.0)
+
+
+class TestSetPartitions:
+    def test_bell_numbers(self):
+        from repro.reconfig import set_partitions
+
+        for n, bell in ((1, 1), (2, 2), (3, 5), (4, 15), (5, 52)):
+            assert sum(1 for _ in set_partitions(n)) == bell
+
+    def test_partitions_are_valid_rgs(self):
+        from repro.reconfig import set_partitions
+
+        for rgs in set_partitions(4):
+            assert rgs[0] == 0
+            for i in range(1, 4):
+                assert rgs[i] <= max(rgs[:i]) + 1

@@ -1,0 +1,192 @@
+"""Tests for the real-time scheduling substrate (tasks, EDF, RMS, energy)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.rtsched import (
+    TM5400_POINTS,
+    PeriodicTask,
+    TaskSet,
+    edf_schedulable,
+    energy_improvement,
+    hyperperiod_energy,
+    lowest_feasible_point,
+    rms_schedulable,
+    rms_schedulable_costs,
+    rms_task_load,
+    scale_periods_for_utilization,
+    simulate,
+)
+from repro.selection.config_curve import TaskConfiguration
+
+
+def _task(name, period, wcet, configs=None):
+    if configs is None:
+        return PeriodicTask(name=name, period=period, wcet=wcet)
+    return PeriodicTask(
+        name=name,
+        period=period,
+        wcet=wcet,
+        configurations=tuple(TaskConfiguration(a, c) for a, c in configs),
+    )
+
+
+class TestTaskModel:
+    def test_default_software_configuration(self):
+        t = _task("t", 10, 4)
+        assert t.n_configurations == 1
+        assert t.configurations[0].area == 0
+        assert t.configurations[0].cycles == 4
+
+    def test_config_zero_must_be_software(self):
+        with pytest.raises(ScheduleError):
+            _task("t", 10, 4, configs=[(1.0, 4.0)])
+
+    def test_config_zero_cycles_must_match_wcet(self):
+        with pytest.raises(ScheduleError):
+            _task("t", 10, 4, configs=[(0.0, 5.0)])
+
+    def test_invalid_period(self):
+        with pytest.raises(ScheduleError):
+            _task("t", 0, 4)
+
+    def test_utilization(self):
+        ts = TaskSet([_task("a", 10, 2), _task("b", 20, 5)])
+        assert ts.utilization == pytest.approx(0.45)
+
+    def test_assignment_utilization_and_area(self):
+        t = _task("t", 10, 4, configs=[(0.0, 4.0), (3.0, 2.0)])
+        ts = TaskSet([t])
+        assert ts.utilization_for([1]) == pytest.approx(0.2)
+        assert ts.area_for([1]) == pytest.approx(3.0)
+
+    def test_scale_periods_hits_target(self):
+        tasks = [_task("a", 1, 30), _task("b", 1, 70)]
+        ts = scale_periods_for_utilization(tasks, 1.05)
+        assert ts.utilization == pytest.approx(1.05)
+
+    def test_hyperperiod(self):
+        ts = TaskSet([_task("a", 4, 1), _task("b", 6, 1)])
+        assert ts.hyperperiod() == 12
+
+    def test_rms_priority_order(self):
+        ts = TaskSet([_task("slow", 20, 1), _task("fast", 5, 1)])
+        ordered = ts.by_priority_rms()
+        assert [t.name for t in ordered] == ["fast", "slow"]
+
+
+class TestEdf:
+    def test_bound(self):
+        assert edf_schedulable(TaskSet([_task("a", 2, 1), _task("b", 4, 2)]))
+        assert not edf_schedulable(TaskSet([_task("a", 2, 1), _task("b", 4, 2.1)]))
+
+
+class TestRmsExact:
+    def test_liu_layland_example(self):
+        # Classic: U = 5/6 > LL bound but RMS-schedulable at these points.
+        assert rms_schedulable_costs([2, 3], [1, 1])
+
+    def test_full_utilization_harmonic(self):
+        # Harmonic periods schedulable at U = 1.
+        assert rms_schedulable_costs([2, 4], [1, 2])
+
+    def test_infeasible(self):
+        assert not rms_schedulable_costs([2, 3], [1, 1.5])
+
+    def test_thesis_motivating_example_unschedulable_software(self):
+        # Figure 3.2: periods 6, 8, 12 and costs 2, 3, 6 -> U = 29/24 > 1.
+        assert not rms_schedulable_costs([6, 8, 12], [2, 3, 6])
+
+    def test_thesis_motivating_example_optimal_solution(self):
+        # Optimal (e): T1 software (2), T2 custom (2), T3 custom (5): U = 1.
+        # EDF-schedulable; RMS needs the exact test at these periods.
+        costs = [2, 2, 5]
+        util = 2 / 6 + 2 / 8 + 5 / 12
+        assert util == pytest.approx(1.0)
+        # Exact RMS test verdict must agree with simulation.
+        sim = simulate([6, 8, 12], costs, policy="rm")
+        assert rms_schedulable_costs([6, 8, 12], costs) == sim.schedulable
+
+    @given(st.integers(0, 400))
+    @settings(max_examples=60, deadline=None)
+    def test_exact_test_matches_simulation(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 4)
+        periods = [float(rng.choice([2, 3, 4, 5, 6, 8, 10, 12])) for _ in range(n)]
+        costs = [max(1.0, round(p * rng.uniform(0.1, 0.6))) for p in periods]
+        analytic = rms_schedulable_costs(periods, costs)
+        sim = simulate(periods, costs, policy="rm")
+        assert analytic == sim.schedulable
+
+    def test_load_factor_monotone_in_cost(self):
+        base = rms_task_load([2, 5], [1, 1], 1)
+        heavier = rms_task_load([2, 5], [1, 2], 1)
+        assert heavier > base
+
+
+class TestSimulator:
+    def test_schedulable_edf(self):
+        res = simulate([4, 6], [2, 2], policy="edf")
+        assert res.schedulable
+        assert res.busy_time == pytest.approx(2 * 3 + 2 * 2)  # hyperperiod 12
+
+    def test_overload_misses(self):
+        res = simulate([2, 3], [1.5, 1.5], policy="edf")
+        assert not res.schedulable
+        assert res.missed
+
+    def test_rm_vs_edf_difference(self):
+        # U = 1 with non-harmonic periods: EDF ok, RM misses.
+        periods, costs = [5.0, 7.0], [2.5, 3.5]
+        assert simulate(periods, costs, policy="edf", horizon=35.0).schedulable
+        assert not simulate(periods, costs, policy="rm", horizon=35.0).schedulable
+
+    def test_observed_utilization(self):
+        res = simulate([4], [1], policy="edf")
+        assert res.observed_utilization == pytest.approx(0.25)
+
+    def test_bad_args(self):
+        with pytest.raises(ScheduleError):
+            simulate([], [])
+        with pytest.raises(ScheduleError):
+            simulate([2], [1], policy="xyz")
+
+
+class TestEnergy:
+    def test_lowest_point_edf(self):
+        # U = 0.5 at f_max=633: need f >= 316.5 -> 366 MHz point.
+        p = lowest_feasible_point(0.5, 2, policy="edf")
+        assert p is not None and p.mhz == pytest.approx(366.0)
+
+    def test_unschedulable_returns_none(self):
+        assert lowest_feasible_point(1.2, 3, policy="edf") is None
+
+    def test_rms_more_conservative_than_edf(self):
+        u = 0.75
+        p_edf = lowest_feasible_point(u, 4, policy="edf")
+        p_rms = lowest_feasible_point(u, 4, policy="rms")
+        assert p_edf is not None and p_rms is not None
+        assert p_rms.mhz >= p_edf.mhz
+
+    def test_energy_decreases_at_lower_voltage(self):
+        ts = TaskSet([_task("a", 10, 2), _task("b", 20, 4)])
+        slow = hyperperiod_energy(ts, None, TM5400_POINTS[0])
+        fast = hyperperiod_energy(ts, None, TM5400_POINTS[-1])
+        assert slow < fast
+
+    def test_energy_improvement_positive_with_customization(self):
+        t = _task("t", 10, 8, configs=[(0.0, 8.0), (5.0, 4.0)])
+        ts = TaskSet([t])
+        imp = energy_improvement(ts, None, [1], policy="edf")
+        assert imp is not None and imp > 0
+
+    def test_improvement_none_when_custom_unschedulable(self):
+        t = _task("t", 10, 20, configs=[(0.0, 20.0), (5.0, 15.0)])
+        ts = TaskSet([t])
+        assert energy_improvement(ts, None, [1], policy="edf") is None

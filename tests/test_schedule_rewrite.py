@@ -1,0 +1,190 @@
+"""Tests for DFG list scheduling and custom-instruction rewriting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import list_schedule, rewrite_block, schedule_dfg
+from repro.graphs.dfg import DataFlowGraph
+from repro.isa.opcodes import Opcode, op_info
+from tests.conftest import random_small_dfg
+
+
+class TestListSchedule:
+    def test_single_issue_chain_is_additive(self, chain_dfg):
+        res = schedule_dfg(chain_dfg, issue_width=1)
+        assert res.makespan == chain_dfg.sw_cycles()
+
+    def test_wide_issue_exploits_parallelism(self, diamond_dfg):
+        narrow = schedule_dfg(diamond_dfg, issue_width=1)
+        wide = schedule_dfg(diamond_dfg, issue_width=2)
+        assert wide.makespan <= narrow.makespan
+        # Diamond: n1 and n2 run in parallel with width 2.
+        assert wide.makespan == 3
+
+    def test_dependencies_respected(self):
+        dfg = random_small_dfg(3, 15)
+        res = schedule_dfg(dfg, issue_width=2)
+        for n in dfg.nodes:
+            for p in dfg.preds(n):
+                finish = res.start_cycle[p] + op_info(dfg.op(p)).sw_cycles
+                assert res.start_cycle[n] >= finish
+
+    def test_width_limit_respected(self):
+        dfg = random_small_dfg(7, 20)
+        res = schedule_dfg(dfg, issue_width=2)
+        per_cycle: dict[int, int] = {}
+        for n, c in res.start_cycle.items():
+            per_cycle[c] = per_cycle.get(c, 0) + 1
+        assert max(per_cycle.values()) <= 2
+
+    @given(st.integers(0, 100), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_bounds(self, seed, width):
+        """Critical path <= makespan <= serial sum, and wider never hurts."""
+        dfg = random_small_dfg(seed, 12)
+        res = schedule_dfg(dfg, issue_width=width)
+        serial = dfg.sw_cycles()
+        # Critical path in sw latencies.
+        cp: dict[int, int] = {}
+        for n in dfg.nodes:
+            lat = op_info(dfg.op(n)).sw_cycles
+            cp[n] = lat + max((cp[p] for p in dfg.preds(n)), default=0)
+        assert max(cp.values()) <= res.makespan <= serial
+        wider = schedule_dfg(dfg, issue_width=width + 1)
+        assert wider.makespan <= res.makespan
+
+    def test_empty_graph(self):
+        res = list_schedule([], {}, {})
+        assert res.makespan == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(GraphError):
+            list_schedule([0], {0: []}, {0: 1}, issue_width=0)
+
+
+class TestRewrite:
+    def test_chain_rewrite_reduces_cycles(self, chain_dfg):
+        rb = rewrite_block(chain_dfg, [{0, 1, 2}])
+        assert rb.n_custom == 1
+        assert rb.sequential_cycles() < chain_dfg.sw_cycles()
+
+    def test_rewrite_matches_gain_arithmetic(self, chain_dfg):
+        """Rewritten sequential cost == original - candidate gain."""
+        from repro.enumeration import make_candidate
+
+        cand = make_candidate(chain_dfg, [0, 1, 2])
+        rb = rewrite_block(chain_dfg, [cand.nodes])
+        assert rb.sequential_cycles() == chain_dfg.sw_cycles() - cand.gain_per_exec
+
+    def test_uncovered_nodes_keep_latency(self, diamond_dfg):
+        rb = rewrite_block(diamond_dfg, [{1, 2}])
+        assert rb.node_latency[0] == op_info(diamond_dfg.op(0)).sw_cycles
+        assert rb.node_latency[3] == op_info(diamond_dfg.op(3)).sw_cycles
+
+    def test_dependencies_preserved(self, diamond_dfg):
+        rb = rewrite_block(diamond_dfg, [{1, 2}])
+        super_node = next(n for n, m in rb.node_members.items() if len(m) == 2)
+        assert 0 in rb.preds[super_node]
+        assert super_node in rb.preds[3]
+
+    def test_overlapping_instructions_rejected(self, diamond_dfg):
+        with pytest.raises(GraphError):
+            rewrite_block(diamond_dfg, [{0, 1}, {1, 2}])
+
+    def test_unknown_node_rejected(self, chain_dfg):
+        with pytest.raises(GraphError):
+            rewrite_block(chain_dfg, [{0, 99}])
+
+    def test_nonconvex_instruction_detected(self, diamond_dfg):
+        """Folding {0, 3} around the diamond creates a cycle."""
+        with pytest.raises(GraphError):
+            rewrite_block(diamond_dfg, [{0, 3}])
+
+    @given(st.integers(0, 80))
+    @settings(max_examples=25, deadline=None)
+    def test_rewrite_consistent_with_subtractive_model(self, seed):
+        """For disjoint feasible candidates, the rewritten single-issue cost
+        equals the subtractive-gain model used by the config curves."""
+        from repro.enumeration import enumerate_connected, make_candidate
+        from repro.graphs import rewrite_block
+        from repro.graphs.rewrite import acyclic_subset
+        from repro.selection import select_greedy
+
+        dfg = random_small_dfg(seed, 14)
+        subs = enumerate_connected(dfg, 4, 2, max_size=6)
+        cands = [make_candidate(dfg, s) for s in subs]
+        chosen = select_greedy(cands, float("inf"))
+        # Disjoint convex candidates may still be jointly cyclic: codegen
+        # keeps a foldable subset.
+        groups = acyclic_subset(dfg, [cands[i].nodes for i in chosen])
+        if not groups:
+            return
+        kept = [i for i in chosen if cands[i].nodes in set(groups)]
+        rb = rewrite_block(dfg, groups)
+        expected = dfg.sw_cycles() - sum(cands[i].gain_per_exec for i in kept)
+        assert rb.sequential_cycles() == expected
+
+    def test_scheduled_cycles_leq_sequential(self):
+        dfg = random_small_dfg(11, 20)
+        rb = rewrite_block(dfg, [])
+        assert rb.scheduled_cycles(issue_width=2) <= rb.sequential_cycles()
+
+
+class TestMlgpCodegenConsistency:
+    @given(st.integers(0, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_mlgp_partitions_fold_consistently(self, seed):
+        """Folding MLGP's custom instructions reduces the block cost by
+        exactly the sum of the folded partitions' gains."""
+        from repro.graphs.rewrite import acyclic_subset
+        from repro.mlgp import mlgp_partition
+
+        dfg = random_small_dfg(seed, 22)
+        regions = dfg.regions()
+        if not regions or len(regions[0]) < 2:
+            return
+        result = mlgp_partition(dfg, regions[0])
+        cis = result.custom_instructions()
+        groups = acyclic_subset(dfg, cis)
+        rb = rewrite_block(dfg, groups)
+        kept_gain = 0.0
+        group_set = set(groups)
+        for part, gain in zip(result.partitions, result.gains):
+            if part in group_set:
+                kept_gain += gain
+        assert rb.sequential_cycles() == dfg.sw_cycles() - kept_gain
+
+
+class TestDotExport:
+    def test_dfg_dot_structure(self, diamond_dfg):
+        from repro.graphs import dfg_to_dot
+
+        dot = dfg_to_dot(diamond_dfg, name="diamond")
+        assert dot.startswith('digraph "diamond"')
+        assert dot.count("->") == 4
+        assert "n0 -> n1;" in dot
+
+    def test_instruction_clusters(self, diamond_dfg):
+        from repro.graphs import dfg_to_dot
+
+        dot = dfg_to_dot(diamond_dfg, instructions=[{1, 2}])
+        assert "cluster_ci0" in dot
+        assert dot.count("n1 [") == 1  # grouped node emitted once
+
+    def test_invalid_nodes_dashed(self, load_split_dfg):
+        from repro.graphs import dfg_to_dot
+
+        dot = dfg_to_dot(load_split_dfg)
+        assert "style=dashed" in dot
+
+    def test_rewritten_dot(self, diamond_dfg):
+        from repro.graphs import rewritten_to_dot
+
+        rb = rewrite_block(diamond_dfg, [{1, 2}])
+        dot = rewritten_to_dot(rb)
+        assert "CI(2 ops" in dot
+        assert "peripheries=2" in dot

@@ -1,0 +1,156 @@
+"""Tests for the custom-instruction selection solvers."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enumeration.patterns import Candidate
+from repro.selection import (
+    select_branch_bound,
+    select_greedy,
+    select_ilp,
+    select_knapsack,
+)
+
+
+def _cand(
+    block: int, nodes: tuple[int, ...], gain: float, area: float
+) -> Candidate:
+    """Candidate with explicit gain (encoded via sw/hw/frequency)."""
+    return Candidate(
+        block_index=block,
+        nodes=frozenset(nodes),
+        sw_cycles=int(gain) + 1,
+        hw_cycles=1,
+        area=area,
+        inputs=2,
+        outputs=1,
+        frequency=1.0,
+    )
+
+
+def _random_instance(seed: int, n: int = 8):
+    rng = random.Random(seed)
+    cands = []
+    for i in range(n):
+        block = rng.randint(0, 1)
+        start = rng.randint(0, 6)
+        size = rng.randint(1, 3)
+        nodes = tuple(range(start, start + size))
+        cands.append(
+            _cand(block, nodes, gain=rng.randint(1, 50), area=rng.randint(1, 10))
+        )
+    budget = rng.randint(5, 30)
+    return cands, float(budget)
+
+
+def _brute_force(cands, budget):
+    best_gain, best = 0.0, []
+    for r in range(len(cands) + 1):
+        for combo in itertools.combinations(range(len(cands)), r):
+            if sum(cands[i].area for i in combo) > budget + 1e-9:
+                continue
+            ok = all(
+                not cands[i].overlaps(cands[j])
+                for i, j in itertools.combinations(combo, 2)
+            )
+            if not ok:
+                continue
+            gain = sum(cands[i].total_gain for i in combo)
+            if gain > best_gain:
+                best_gain, best = gain, list(combo)
+    return best_gain, best
+
+
+class TestBranchBound:
+    @given(st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_optimal_vs_bruteforce(self, seed):
+        cands, budget = _random_instance(seed)
+        expected, _ = _brute_force(cands, budget)
+        sel = select_branch_bound(cands, budget)
+        got = sum(cands[i].total_gain for i in sel)
+        assert got == pytest.approx(expected)
+
+    def test_respects_budget_and_conflicts(self):
+        cands, budget = _random_instance(42, n=12)
+        sel = select_branch_bound(cands, budget)
+        assert sum(cands[i].area for i in sel) <= budget + 1e-9
+        for i, j in itertools.combinations(sel, 2):
+            assert not cands[i].overlaps(cands[j])
+
+    def test_empty_pool(self):
+        assert select_branch_bound([], 10.0) == []
+
+
+class TestIlp:
+    @given(st.integers(0, 120))
+    @settings(max_examples=20, deadline=None)
+    def test_ilp_matches_bruteforce(self, seed):
+        cands, budget = _random_instance(seed, n=7)
+        expected, _ = _brute_force(cands, budget)
+        sel = select_ilp(cands, budget)
+        got = sum(cands[i].total_gain for i in sel)
+        assert got == pytest.approx(expected)
+
+    def test_isomorphic_sharing_allows_more(self):
+        # Two identical candidates in different blocks; budget fits one area.
+        a = _cand(0, (0, 1), gain=10, area=5)
+        b = _cand(1, (0, 1), gain=10, area=5)
+        object.__setattr__(a, "structural_key", ("k",))
+        object.__setattr__(b, "structural_key", ("k",))
+        no_share = select_ilp([a, b], 5.0, share_isomorphic=False)
+        share = select_ilp([a, b], 5.0, share_isomorphic=True)
+        assert len(no_share) == 1
+        assert len(share) == 2
+
+    def test_empty(self):
+        assert select_ilp([], 5.0) == []
+
+
+class TestGreedy:
+    def test_respects_budget_and_conflicts(self):
+        cands, budget = _random_instance(7, n=14)
+        sel = select_greedy(cands, budget)
+        assert sum(cands[i].area for i in sel) <= budget + 1e-9
+        for i, j in itertools.combinations(sel, 2):
+            assert not cands[i].overlaps(cands[j])
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(ValueError):
+            select_greedy([], 1.0, priority="nope")
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_never_beats_optimal(self, seed):
+        cands, budget = _random_instance(seed)
+        expected, _ = _brute_force(cands, budget)
+        sel = select_greedy(cands, budget)
+        got = sum(cands[i].total_gain for i in sel)
+        assert got <= expected + 1e-9
+
+
+class TestKnapsack:
+    @given(st.integers(0, 150))
+    @settings(max_examples=30, deadline=None)
+    def test_optimal_on_disjoint_items(self, seed):
+        rng = random.Random(seed)
+        # Disjoint candidates: distinct blocks.
+        cands = [
+            _cand(i, (0, 1), gain=rng.randint(1, 40), area=rng.randint(1, 8))
+            for i in range(7)
+        ]
+        budget = float(rng.randint(4, 25))
+        expected, _ = _brute_force(cands, budget)
+        sel = select_knapsack(cands, budget)
+        got = sum(cands[i].total_gain for i in sel)
+        assert got == pytest.approx(expected)
+
+    def test_zero_budget(self):
+        cands = [_cand(0, (0,), 5, 2)]
+        assert select_knapsack(cands, 0.0) == []

@@ -1,0 +1,114 @@
+"""Tests for the GA / simulated-annealing selection heuristics."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.selection import (
+    select_annealing,
+    select_branch_bound,
+    select_genetic,
+    select_greedy,
+)
+from tests.test_selection import _brute_force, _cand, _random_instance
+
+
+def _total(cands, sel):
+    return sum(cands[i].total_gain for i in sel)
+
+
+def _is_feasible(cands, sel, budget):
+    if sum(cands[i].area for i in sel) > budget + 1e-9:
+        return False
+    return all(
+        not cands[i].overlaps(cands[j])
+        for i, j in itertools.combinations(sel, 2)
+    )
+
+
+class TestGenetic:
+    @given(st.integers(0, 120))
+    @settings(max_examples=20, deadline=None)
+    def test_feasible_and_bounded_by_optimum(self, seed):
+        cands, budget = _random_instance(seed)
+        sel = select_genetic(cands, budget, generations=20, seed=seed)
+        assert _is_feasible(cands, sel, budget)
+        optimum, _ = _brute_force(cands, budget)
+        assert _total(cands, sel) <= optimum + 1e-9
+
+    @given(st.integers(0, 80))
+    @settings(max_examples=15, deadline=None)
+    def test_never_below_greedy(self, seed):
+        """The GA is seeded with the greedy solution, so it cannot lose."""
+        cands, budget = _random_instance(seed)
+        ga = _total(cands, select_genetic(cands, budget, generations=15, seed=1))
+        greedy = _total(cands, select_greedy(cands, budget))
+        assert ga >= greedy - 1e-9
+
+    def test_deterministic_for_seed(self):
+        cands, budget = _random_instance(9, n=10)
+        a = select_genetic(cands, budget, seed=3)
+        b = select_genetic(cands, budget, seed=3)
+        assert a == b
+
+    def test_empty_pool(self):
+        assert select_genetic([], 10.0) == []
+
+    def test_often_finds_optimum_on_small_instances(self):
+        hits = 0
+        for seed in range(10):
+            cands, budget = _random_instance(seed, n=7)
+            optimum, _ = _brute_force(cands, budget)
+            got = _total(cands, select_genetic(cands, budget, seed=seed))
+            if got >= optimum - 1e-9:
+                hits += 1
+        assert hits >= 7
+
+
+class TestAnnealing:
+    @given(st.integers(0, 120))
+    @settings(max_examples=20, deadline=None)
+    def test_feasible_and_bounded_by_optimum(self, seed):
+        cands, budget = _random_instance(seed)
+        sel = select_annealing(cands, budget, iterations=800, seed=seed)
+        assert _is_feasible(cands, sel, budget)
+        optimum, _ = _brute_force(cands, budget)
+        assert _total(cands, sel) <= optimum + 1e-9
+
+    @given(st.integers(0, 80))
+    @settings(max_examples=15, deadline=None)
+    def test_never_below_greedy(self, seed):
+        """SA starts from greedy and keeps the best state visited."""
+        cands, budget = _random_instance(seed)
+        sa = _total(cands, select_annealing(cands, budget, iterations=500, seed=1))
+        greedy = _total(cands, select_greedy(cands, budget))
+        assert sa >= greedy - 1e-9
+
+    def test_deterministic_for_seed(self):
+        cands, budget = _random_instance(5, n=10)
+        a = select_annealing(cands, budget, seed=2)
+        b = select_annealing(cands, budget, seed=2)
+        assert a == b
+
+    def test_zero_budget(self):
+        cands, _ = _random_instance(1)
+        assert select_annealing(cands, 0.0) == []
+
+    def test_escapes_greedy_local_optimum(self):
+        """Instance where density-greedy is provably suboptimal: one dense
+        small item conflicts with two larger ones that together win."""
+        a = _cand(0, (0, 1), gain=10, area=2)  # density 5, picked first
+        b = _cand(0, (1, 2), gain=12, area=6)  # conflicts with a
+        c = _cand(0, (0, 5), gain=12, area=6)  # conflicts with a
+        cands = [a, b, c]
+        budget = 12.0
+        greedy = _total(cands, select_greedy(cands, budget))
+        optimal = _total(cands, select_branch_bound(cands, budget))
+        assert optimal > greedy  # the trap is real
+        sa = _total(cands, select_annealing(cands, budget, iterations=2000, seed=0))
+        assert sa == pytest.approx(optimal)

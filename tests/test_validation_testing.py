@@ -1,0 +1,90 @@
+"""Tests for the validation harness and the public testing utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.testing import random_dfg, random_hot_loops, random_task_set
+from repro.validation import validate_program_costs, validate_task_set
+from repro.workloads import get_program
+
+
+class TestTestingUtilities:
+    def test_random_dfg_deterministic(self):
+        a = random_dfg(7, 12)
+        b = random_dfg(7, 12)
+        assert [a.op(n) for n in a.nodes] == [b.op(n) for n in b.nodes]
+        assert [a.preds(n) for n in a.nodes] == [b.preds(n) for n in b.nodes]
+
+    def test_random_dfg_invalid_ops_optional(self):
+        from repro.isa.opcodes import is_valid_op
+
+        clean = random_dfg(3, 30, include_invalid=False)
+        assert all(is_valid_op(clean.op(n)) for n in clean.nodes)
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_random_task_set_valid(self, seed):
+        ts = random_task_set(seed, n_tasks=3)
+        for t in ts:
+            areas = [c.area for c in t.configurations]
+            cycles = [c.cycles for c in t.configurations]
+            assert areas[0] == 0.0
+            assert cycles[0] == t.wcet
+            assert areas == sorted(areas)
+
+    def test_random_task_set_utilization_target(self):
+        ts = random_task_set(5, n_tasks=4, utilization=1.2)
+        assert ts.utilization == pytest.approx(1.2)
+
+    def test_random_hot_loops(self):
+        loops, trace = random_hot_loops(3, n_loops=5)
+        assert len(loops) == 5
+        assert set(trace) == set(range(5))
+
+
+class TestValidationHarness:
+    def test_task_set_validation_passes(self):
+        ts = random_task_set(11, n_tasks=3, utilization=0.9)
+        report = validate_task_set(ts, 0.5 * ts.max_area)
+        assert report.passed, report.summary()
+
+    def test_unschedulable_set_skips_simulation(self):
+        ts = random_task_set(13, n_tasks=3, utilization=2.5)
+        report = validate_task_set(ts, 0.0)
+        assert report.passed  # skipped simulation counts as pass
+        assert any("skipped" in detail for _n, _ok, detail in report.checks)
+
+    @pytest.mark.parametrize("name", ["crc32", "lms", "bitcount"])
+    def test_program_cost_validation(self, name):
+        report = validate_program_costs(get_program(name))
+        assert report.passed, report.summary()
+
+    def test_summary_format(self):
+        ts = random_task_set(17, n_tasks=2, utilization=0.8)
+        report = validate_task_set(ts, ts.max_area)
+        text = report.summary()
+        assert "[PASS]" in text or "[FAIL]" in text
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=10, deadline=None)
+    def test_validation_property(self, seed):
+        """Any random schedulable task set passes the full harness."""
+        ts = random_task_set(seed, n_tasks=3, utilization=0.85)
+        report = validate_task_set(ts, 0.6 * ts.max_area)
+        assert report.passed, report.summary()
+
+
+class TestNewBenchmarks:
+    @pytest.mark.parametrize(
+        "name",
+        ["fft", "viterbi", "gsm", "dijkstra", "qsort", "patricia",
+         "stringsearch", "bitcount"],
+    )
+    def test_breadth_benchmarks_build(self, name):
+        program = get_program(name)
+        assert program.wcet() > 0
+        mx, avg = program.block_stats()
+        assert mx >= avg >= 2

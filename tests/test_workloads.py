@@ -1,0 +1,225 @@
+"""Tests for the workload substrate (benchmarks, task sets, traces, cases)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    BENCHMARKS,
+    BIOMONITOR_KERNELS,
+    CH3_TASK_SETS,
+    CH4_TASK_SETS,
+    CH5_TASK_SETS,
+    benchmark_names,
+    biomonitor_program,
+    biomonitor_programs,
+    get_program,
+    get_spec,
+    jpeg_loops,
+    jpeg_trace,
+    programs_for,
+    synthetic_loops,
+    synthetic_trace,
+)
+from repro.workloads.synthesis import ProgramSpec, seed_for, synth_program
+
+
+class TestBenchmarks:
+    def test_table_5_1_benchmarks_present(self):
+        for name in (
+            "adpcm",
+            "sha",
+            "jfdctint",
+            "g721decode",
+            "lms",
+            "ndes",
+            "rijndael",
+            "3des",
+            "aes",
+            "blowfish",
+        ):
+            assert name in BENCHMARKS
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_spec("nonexistent")
+
+    def test_max_block_size_matches_spec(self):
+        for name in ("sha", "adpcm", "ndes"):
+            spec = get_spec(name)
+            program = get_program(name)
+            mx, _avg = program.block_stats()
+            assert mx == spec.max_bb
+
+    def test_wcet_close_to_spec(self):
+        for name in ("sha", "crc32", "rijndael"):
+            spec = get_spec(name)
+            wcet = get_program(name).wcet()
+            assert wcet == pytest.approx(spec.wcet_cycles, rel=0.25)
+
+    def test_determinism(self):
+        a = synth_program(get_spec("sha"))
+        b = synth_program(get_spec("sha"))
+        assert a.wcet() == b.wcet()
+        assert [len(x.dfg) for x in a.basic_blocks] == [
+            len(x.dfg) for x in b.basic_blocks
+        ]
+
+    def test_salt_changes_program(self):
+        a = synth_program(get_spec("crc32"), salt=0)
+        b = synth_program(get_spec("crc32"), salt=1)
+        assert a.wcet() != b.wcet() or [len(x.dfg) for x in a.basic_blocks] != [
+            len(x.dfg) for x in b.basic_blocks
+        ]
+
+    def test_seed_for_stable(self):
+        assert seed_for("x") == seed_for("x")
+        assert seed_for("x") != seed_for("y")
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(WorkloadError):
+            ProgramSpec("bad", "nope", max_bb=10, avg_bb=5)
+        with pytest.raises(WorkloadError):
+            ProgramSpec("bad", "dsp", max_bb=1, avg_bb=1)
+
+
+class TestTaskSets:
+    def test_ch3_compositions(self):
+        assert len(CH3_TASK_SETS) == 6
+        assert all(len(v) == 4 for v in CH3_TASK_SETS.values())
+        assert CH3_TASK_SETS[1] == ("crc32", "sha", "jpeg_decoder", "blowfish")
+
+    def test_ch4_sizes_grow(self):
+        sizes = [len(CH4_TASK_SETS[i]) for i in range(1, 6)]
+        assert sizes == [6, 7, 8, 9, 10]
+
+    def test_ch5_compositions(self):
+        assert CH5_TASK_SETS[1] == ("3des", "rijndael", "sha", "g721decode")
+
+    def test_programs_for_instantiates_all(self):
+        progs = programs_for(CH3_TASK_SETS[1])
+        assert [p.name for p in progs] == list(CH3_TASK_SETS[1])
+
+    def test_duplicates_get_distinct_instances(self):
+        progs = programs_for(("crc32", "crc32"))
+        assert progs[0] is not progs[1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            programs_for(())
+
+
+class TestSyntheticLoops:
+    def test_loop_count_and_software_version(self):
+        loops = synthetic_loops(10, seed=1)
+        assert len(loops) == 10
+        for lp in loops:
+            assert lp.versions[0].area == 0 and lp.versions[0].gain == 0
+
+    def test_version_curves_monotone(self):
+        for lp in synthetic_loops(20, seed=2):
+            areas = [v.area for v in lp.versions]
+            gains = [v.gain for v in lp.versions]
+            assert areas == sorted(areas)
+            assert gains == sorted(gains)
+
+    def test_trace_covers_all_loops(self):
+        trace = synthetic_trace(15, seed=3)
+        assert set(trace) == set(range(15))
+
+    def test_trace_deterministic(self):
+        assert synthetic_trace(8, seed=4) == synthetic_trace(8, seed=4)
+
+
+class TestJpeg:
+    def test_eight_pipeline_loops(self):
+        loops = jpeg_loops()
+        assert len(loops) == 8
+        names = [lp.name for lp in loops]
+        assert "fdct_row" in names and "huffman_ac" in names
+
+    def test_versions_fit_fabric(self):
+        from repro.workloads import JPEG_MAX_AREA
+
+        for lp in jpeg_loops():
+            for v in lp.versions:
+                assert v.area <= JPEG_MAX_AREA
+
+    def test_trace_structure(self):
+        trace = jpeg_trace(n_mcu=3)
+        assert len(trace) == 24
+        assert trace[:8] == list(range(8))
+
+
+class TestBiomonitor:
+    def test_all_kernels_build(self):
+        progs = biomonitor_programs()
+        assert len(progs) == len(BIOMONITOR_KERNELS)
+        for p in progs:
+            assert p.wcet() > 0
+
+    def test_fixed_point_only(self):
+        """Post fixed-point conversion: no floating-point ops exist (our
+        opcode set is integer-only, but verify DIV-free DSP kernels too)."""
+        from repro.isa.opcodes import Opcode
+
+        for p in biomonitor_programs():
+            for block in p.basic_blocks:
+                for n in block.dfg.nodes:
+                    assert block.dfg.op(n) != Opcode.DIV
+
+    def test_kernels_customizable(self):
+        """Every kernel's hot loop yields at least one profitable candidate."""
+        from repro.enumeration import build_candidate_library
+
+        for name in ("ecg_filter", "fall_detect", "ptt_compute"):
+            program = biomonitor_program(name)
+            lib = build_candidate_library(program)
+            assert len(lib) > 0
+
+
+class TestSdr:
+    def test_loops_and_modes(self):
+        from repro.workloads import SDR_MODE_A, SDR_MODE_B, sdr_loops
+
+        loops = sdr_loops()
+        assert len(loops) == 6
+        assert set(SDR_MODE_A) | set(SDR_MODE_B) == set(range(6))
+        assert not set(SDR_MODE_A) & set(SDR_MODE_B)
+
+    def test_gains_scale_with_dwell(self):
+        from repro.workloads import sdr_loops
+
+        short = sdr_loops(frames_per_dwell=10)
+        long = sdr_loops(frames_per_dwell=100)
+        for a, b in zip(short, long):
+            assert b.versions[-1].gain == pytest.approx(10 * a.versions[-1].gain)
+            assert b.versions[-1].area == a.versions[-1].area
+
+    def test_trace_alternates_modes(self):
+        from repro.workloads import SDR_MODE_A, SDR_MODE_B, sdr_trace
+
+        trace = sdr_trace(frames_per_dwell=2, dwells=2)
+        first_half = trace[: len(trace) // 2]
+        second_half = trace[len(trace) // 2 :]
+        assert set(first_half) <= set(SDR_MODE_A)
+        assert set(second_half) <= set(SDR_MODE_B)
+
+    def test_reconfiguration_amortizes_with_dwell(self):
+        """The thesis's mode-switching motivation: reconfiguration pays off
+        once mode dwells are long enough to amortize the reload cost."""
+        from repro.reconfig import iterative_partition, spatial_select
+        from repro.workloads import SDR_MAX_AREA, sdr_loops, sdr_trace
+
+        rho = 100.0
+        advantages = []
+        for dwell in (5, 80, 320):
+            loops = sdr_loops(frames_per_dwell=dwell)
+            trace = sdr_trace(frames_per_dwell=dwell)
+            _sel, static = spatial_select(loops, SDR_MAX_AREA)
+            it = iterative_partition(loops, trace, SDR_MAX_AREA, rho)
+            advantages.append(it.gain / static)
+        assert advantages == sorted(advantages)
+        assert advantages[0] == pytest.approx(1.0)  # short dwell: stay static
+        assert advantages[-1] > 1.5  # long dwell: reconfiguration wins big
