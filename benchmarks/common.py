@@ -4,18 +4,32 @@ Every bench regenerates one table or figure of the thesis evaluation:
 the series/rows are printed and also written to ``benchmarks/results/`` so
 they survive pytest's output capturing.  Expensive per-benchmark task
 construction is cached across benches within a session.
+
+The module also provides a per-stage wall-clock timing harness
+(:func:`stage`, :func:`stage_report`) and a JSON emitter
+(:func:`emit_json`) used by the identification-pipeline speed bench to
+persist ``BENCH_identification.json`` — the perf trajectory consumed by
+future PRs.
 """
 
 from __future__ import annotations
 
 import functools
+import json
+import time
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.core import build_task
+from repro.core.flow import build_tasks
 from repro.rtsched import PeriodicTask, TaskSet, scale_periods_for_utilization
 from repro.workloads import get_program
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Accumulated wall-clock seconds and entry counts per stage name.
+_STAGE_SECONDS: dict[str, float] = {}
+_STAGE_CALLS: dict[str, int] = {}
 
 
 def emit(name: str, lines: list[str]) -> None:
@@ -24,6 +38,41 @@ def emit(name: str, lines: list[str]) -> None:
     print(f"\n=== {name} ===\n{text}")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n=== {name} ===\n{json.dumps(payload, indent=2, sort_keys=True)}")
+    return path
+
+
+@contextmanager
+def stage(name: str):
+    """Accumulate wall-clock time for one named pipeline stage."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - t0
+        _STAGE_SECONDS[name] = _STAGE_SECONDS.get(name, 0.0) + elapsed
+        _STAGE_CALLS[name] = _STAGE_CALLS.get(name, 0) + 1
+
+
+def reset_stages() -> None:
+    """Drop all accumulated stage timings."""
+    _STAGE_SECONDS.clear()
+    _STAGE_CALLS.clear()
+
+
+def stage_report() -> dict[str, dict[str, float]]:
+    """Seconds and call counts accumulated per stage since the last reset."""
+    return {
+        name: {"seconds": secs, "calls": _STAGE_CALLS.get(name, 0)}
+        for name, secs in sorted(_STAGE_SECONDS.items())
+    }
 
 
 @functools.lru_cache(maxsize=None)
@@ -43,6 +92,18 @@ def cached_task_set(
         seen[name] = salt + 1
         tasks.append(cached_task(name, salt))
     return scale_periods_for_utilization(tasks, utilization, name=label)
+
+
+def prebuild_tasks(
+    pairs: tuple[tuple[str, int], ...], workers: int | None = None
+) -> list[PeriodicTask]:
+    """Build tasks for (benchmark, salt) pairs, optionally in parallel.
+
+    With ``workers > 1`` the identification+curve work fans out over a
+    process pool (see :func:`repro.core.flow.build_tasks`).
+    """
+    programs = [get_program(name, salt) for name, salt in pairs]
+    return build_tasks(programs, workers=workers)
 
 
 def once(benchmark, fn, *args, **kwargs):

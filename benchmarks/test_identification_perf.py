@@ -1,0 +1,143 @@
+"""Identification-pipeline speed harness (perf trajectory for future PRs).
+
+Times the identification → configuration-curve → selection pipeline on the
+Figure 3.3 workload (the unique programs of the six Chapter 3 task sets)
+under three setups:
+
+* ``reference_cold`` — the original set-based ESU enumerator, no caching;
+* ``bitset_cold``    — the bitset engine with empty artifact caches;
+* ``bitset_warm``    — the bitset engine re-run with primed caches.
+
+Per-stage wall clock (enumerate / curves / select), candidate-visit rates
+and the speedup ratios are written to
+``benchmarks/results/BENCH_identification.json``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from benchmarks.common import emit_json, reset_stages, stage, stage_report
+from repro import cache
+from repro.core import select_edf, select_rms
+from repro.enumeration import build_candidate_library
+from repro.rtsched import PeriodicTask, scale_periods_for_utilization
+from repro.selection import build_configuration_curve, downsample_curve
+from repro.workloads import CH3_TASK_SETS, get_program
+
+AREA_FRACTIONS = tuple(i / 10 for i in range(11))
+
+
+def _workload_pairs() -> list[tuple[str, int]]:
+    """Unique (benchmark, salt) pairs across the six Chapter 3 task sets."""
+    pairs: set[tuple[str, int]] = set()
+    for names in CH3_TASK_SETS.values():
+        seen: dict[str, int] = {}
+        for name in names:
+            salt = seen.get(name, 0)
+            seen[name] = salt + 1
+            pairs.add((name, salt))
+    return sorted(pairs)
+
+
+def _run_pipeline(engine: str, use_cache: bool, label: str) -> dict:
+    """One full identification+curve+selection pass over the workload."""
+    reset_stages()
+    enum_stats: dict = {}
+    tasks: dict[tuple[str, int], PeriodicTask] = {}
+    t0 = time.perf_counter()
+    for name, salt in _workload_pairs():
+        program = get_program(name, salt)
+        with stage("enumerate"):
+            library = build_candidate_library(
+                program, engine=engine, use_cache=use_cache, stats=enum_stats
+            )
+        with stage("curves"):
+            curve = downsample_curve(
+                build_configuration_curve(
+                    program, library.candidates, use_cache=use_cache
+                ),
+                24,
+            )
+        tasks[(name, salt)] = PeriodicTask(
+            name=program.name,
+            period=2.0 * curve[0].cycles,
+            wcet=curve[0].cycles,
+            configurations=tuple(curve),
+        )
+    with stage("select"):
+        for k, names in sorted(CH3_TASK_SETS.items()):
+            seen: dict[str, int] = {}
+            members = []
+            for name in names:
+                salt = seen.get(name, 0)
+                seen[name] = salt + 1
+                members.append(tasks[(name, salt)])
+            ts = scale_periods_for_utilization(members, 1.05, name=f"ts{k}")
+            for frac in AREA_FRACTIONS:
+                budget = ts.max_area * frac
+                select_edf(ts, budget)
+                select_rms(ts, budget)
+    total = time.perf_counter() - t0
+    report = stage_report()
+    enum_seconds = report.get("enumerate", {}).get("seconds", 0.0)
+    visited = enum_stats.get("visited", 0)
+    return {
+        "label": label,
+        "engine": engine,
+        "use_cache": use_cache,
+        "programs": len(tasks),
+        "total_seconds": round(total, 4),
+        "stages": {k: round(v["seconds"], 4) for k, v in report.items()},
+        "identification_seconds": round(
+            enum_seconds + report.get("curves", {}).get("seconds", 0.0), 4
+        ),
+        "candidates_visited": visited,
+        "candidates_visited_per_sec": (
+            round(visited / enum_seconds) if enum_seconds > 0 and visited else None
+        ),
+    }
+
+
+def test_identification_pipeline_speed(benchmark):
+    cache.clear()
+    reference = _run_pipeline("reference", use_cache=False, label="reference_cold")
+
+    cache.clear()
+    cold = _run_pipeline("bitset", use_cache=True, label="bitset_cold")
+
+    warm = benchmark.pedantic(
+        _run_pipeline, args=("bitset", True, "bitset_warm"), rounds=1, iterations=1
+    )
+
+    def ratio(a: float, b: float) -> float:
+        return round(a / b, 2) if b > 0 else math.inf
+
+    payload = {
+        "workload": "figure_3_3",
+        "rows": [reference, cold, warm],
+        "speedups": {
+            "bitset_vs_reference_identification": ratio(
+                reference["identification_seconds"], cold["identification_seconds"]
+            ),
+            "bitset_vs_reference_total": ratio(
+                reference["total_seconds"], cold["total_seconds"]
+            ),
+            "warm_vs_cold_identification": ratio(
+                cold["identification_seconds"], warm["identification_seconds"]
+            ),
+            "warm_vs_cold_total": ratio(
+                cold["total_seconds"], warm["total_seconds"]
+            ),
+        },
+    }
+    emit_json("BENCH_identification", payload)
+
+    # Acceptance: the bitset engine is ≥3x faster on identification+curves,
+    # and the warm-cache rerun ≥10x faster than cold.  Assert with margin so
+    # CI noise cannot flake the build while still catching regressions.
+    speedups = payload["speedups"]
+    assert speedups["bitset_vs_reference_identification"] >= 2.0
+    assert speedups["warm_vs_cold_identification"] >= 5.0
+    assert warm["total_seconds"] < cold["total_seconds"]

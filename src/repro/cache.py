@@ -1,0 +1,397 @@
+"""Content-keyed memoization for identification artifacts.
+
+Area/utilization sweeps (e.g. the Chapter 3 benches) re-run the
+identification pipeline — candidate enumeration plus configuration-curve
+construction — over the *same* programs at many budget points.  Both
+artifacts depend only on the program's structure and the pipeline
+parameters, so they are memoized behind a content key:
+
+* **key** — SHA-256 over a canonical rendering of the program's syntax tree
+  and every basic block's DFG (opcodes, edges, live-outs, live-in operand
+  counts) plus the enumeration/selection parameters
+  (:func:`program_fingerprint`, :func:`artifact_key`);
+* **in-process LRU** — always on (disable per call with ``use_cache=False``
+  or globally with :func:`set_enabled`);
+* **on-disk JSON** — off by default; enabled by setting the
+  ``REPRO_CACHE_DIR`` environment variable (or :func:`set_cache_dir`) to a
+  writable directory, where artifacts persist across processes.
+
+The cache stores immutable payloads (tuples of frozen dataclasses) and
+returns them as fresh lists, so callers can mutate their copies freely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import weakref
+from collections import OrderedDict
+from collections.abc import Callable, Iterable, Sequence
+from pathlib import Path
+from typing import Any
+
+from repro.enumeration.patterns import Candidate
+from repro.graphs.program import Block, IfElse, Loop, Program, Seq
+from repro.selection.config_curve import TaskConfiguration
+
+__all__ = [
+    "artifact_key",
+    "cache_dir",
+    "cache_info",
+    "candidates_digest",
+    "clear",
+    "fetch_candidates",
+    "fetch_curve",
+    "program_fingerprint",
+    "reset_cache_dir",
+    "set_cache_dir",
+    "set_enabled",
+    "store_candidates",
+    "store_curve",
+]
+
+#: Bump when the serialized payload layout changes (stale disk entries with
+#: an older schema are ignored, never misread).
+SCHEMA_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+
+
+class _LRUCache:
+    """A small thread-safe LRU map (no TTL; artifacts are content-keyed)."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Any | None:
+        with self._lock:
+            try:
+                value = self._data.pop(key)
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data[key] = value
+            self.hits += 1
+            return value
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+_LIBRARIES = _LRUCache(maxsize=256)
+_CURVES = _LRUCache(maxsize=512)
+_enabled = True
+_dir_override: Path | None | str = ""  # "" means "follow the environment"
+
+
+def set_enabled(enabled: bool) -> None:
+    """Globally enable/disable the in-process and on-disk caches."""
+    global _enabled
+    _enabled = enabled
+
+
+def set_cache_dir(path: str | os.PathLike | None) -> None:
+    """Override the on-disk cache directory (``None`` disables the disk tier).
+
+    Without an override the directory comes from the ``REPRO_CACHE_DIR``
+    environment variable; when neither is set, no files are written.  Use
+    :func:`reset_cache_dir` to drop the override and follow the environment
+    again.
+    """
+    global _dir_override
+    _dir_override = None if path is None else Path(path)
+
+
+def reset_cache_dir() -> None:
+    """Drop any :func:`set_cache_dir` override; follow ``REPRO_CACHE_DIR``."""
+    global _dir_override
+    _dir_override = ""
+
+
+def cache_dir() -> Path | None:
+    """The active on-disk cache directory, or ``None`` when disabled."""
+    if _dir_override != "":
+        return _dir_override  # type: ignore[return-value]
+    env = os.environ.get(_ENV_DIR)
+    return Path(env) if env else None
+
+
+def clear(disk: bool = False) -> None:
+    """Drop all in-process entries (and optionally the on-disk files)."""
+    _LIBRARIES.clear()
+    _CURVES.clear()
+    if disk:
+        d = cache_dir()
+        if d is not None and d.is_dir():
+            for f in d.glob("repro-cache-*.json"):
+                f.unlink(missing_ok=True)
+
+
+def cache_info() -> dict[str, dict[str, int]]:
+    """Hit/miss/size counters per artifact kind (for tests and reports)."""
+    return {
+        "library": {
+            "hits": _LIBRARIES.hits,
+            "misses": _LIBRARIES.misses,
+            "size": len(_LIBRARIES),
+        },
+        "curve": {
+            "hits": _CURVES.hits,
+            "misses": _CURVES.misses,
+            "size": len(_CURVES),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Content keys
+# ----------------------------------------------------------------------
+def _construct_repr(node: Any, block_ids: dict[int, int]) -> Any:
+    if isinstance(node, Block):
+        return ("B", block_ids[id(node)])
+    if isinstance(node, Seq):
+        return ("S", tuple(_construct_repr(c, block_ids) for c in node.children))
+    if isinstance(node, Loop):
+        return (
+            "L",
+            node.bound,
+            node.avg_trip,
+            _construct_repr(node.body, block_ids),
+        )
+    if isinstance(node, IfElse):
+        return (
+            "I",
+            node.taken_prob,
+            _construct_repr(node.then_branch, block_ids),
+            _construct_repr(node.else_branch, block_ids),
+        )
+    raise TypeError(f"unknown construct {type(node).__name__}")
+
+
+def _dfg_repr(block: Block) -> tuple:
+    dfg = block.dfg
+    return tuple(
+        (
+            dfg.op(n).value,
+            tuple(dfg.preds(n)),
+            dfg.is_live_out(n),
+            dfg.external_inputs(n),
+        )
+        for n in dfg.nodes
+    )
+
+
+_FINGERPRINTS: "weakref.WeakKeyDictionary[Program, str]" = weakref.WeakKeyDictionary()
+
+
+def program_fingerprint(program: Program) -> str:
+    """SHA-256 hex digest of a program's structure.
+
+    Two programs with identical syntax trees (bounds, trip counts, branch
+    probabilities) and identical basic-block DFGs (opcodes, dependence
+    edges, live-outs, live-in operand counts) get the same fingerprint, so
+    identification artifacts computed for one are valid for the other.
+    Names are deliberately excluded — the cache is content-addressed.
+    Memoized per program object (programs are treated as immutable once
+    handed to the pipeline).
+    """
+    memo = _FINGERPRINTS.get(program)
+    if memo is not None:
+        return memo
+    blocks = program.basic_blocks
+    block_ids = {id(b): i for i, b in enumerate(blocks)}
+    payload = repr(
+        (
+            _construct_repr(program.root, block_ids),
+            tuple(_dfg_repr(b) for b in blocks),
+        )
+    )
+    digest = hashlib.sha256(payload.encode()).hexdigest()
+    _FINGERPRINTS[program] = digest
+    return digest
+
+
+def candidates_digest(candidates: Sequence[Candidate]) -> str:
+    """SHA-256 hex digest of a candidate list (for curve cache keys)."""
+    payload = repr(
+        tuple(
+            (
+                c.block_index,
+                tuple(sorted(c.nodes)),
+                c.sw_cycles,
+                c.hw_cycles,
+                c.area,
+                c.frequency,
+            )
+            for c in candidates
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def artifact_key(fingerprint: str, **params: Any) -> str:
+    """Key for one artifact: program fingerprint + pipeline parameters."""
+    canon = json.dumps(params, sort_keys=True, default=repr)
+    return hashlib.sha256(
+        f"{SCHEMA_VERSION}:{fingerprint}:{canon}".encode()
+    ).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Serialization (on-disk JSON tier)
+# ----------------------------------------------------------------------
+def _tuplify(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+def _candidate_to_jsonable(c: Candidate) -> dict[str, Any]:
+    return {
+        "block_index": c.block_index,
+        "nodes": sorted(c.nodes),
+        "sw_cycles": c.sw_cycles,
+        "hw_cycles": c.hw_cycles,
+        "area": c.area,
+        "inputs": c.inputs,
+        "outputs": c.outputs,
+        "frequency": c.frequency,
+        "structural_key": c.structural_key,
+    }
+
+
+def _candidate_from_jsonable(d: dict[str, Any]) -> Candidate:
+    return Candidate(
+        block_index=d["block_index"],
+        nodes=frozenset(d["nodes"]),
+        sw_cycles=d["sw_cycles"],
+        hw_cycles=d["hw_cycles"],
+        area=d["area"],
+        inputs=d["inputs"],
+        outputs=d["outputs"],
+        frequency=d["frequency"],
+        structural_key=_tuplify(d["structural_key"]),
+    )
+
+
+def _configuration_to_jsonable(p: TaskConfiguration) -> dict[str, Any]:
+    return {"area": p.area, "cycles": p.cycles, "selected": list(p.selected)}
+
+
+def _configuration_from_jsonable(d: dict[str, Any]) -> TaskConfiguration:
+    return TaskConfiguration(
+        area=d["area"], cycles=d["cycles"], selected=tuple(d["selected"])
+    )
+
+
+def _disk_path(kind: str, key: str) -> Path | None:
+    d = cache_dir()
+    if d is None:
+        return None
+    return d / f"repro-cache-{kind}-{key[:40]}.json"
+
+
+def _disk_read(kind: str, key: str) -> list[Any] | None:
+    path = _disk_path(kind, key)
+    if path is None or not path.is_file():
+        return None
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if data.get("schema") != SCHEMA_VERSION or data.get("key") != key:
+        return None
+    return data.get("payload")
+
+
+def _disk_write(kind: str, key: str, payload: list[Any]) -> None:
+    path = _disk_path(kind, key)
+    if path is None:
+        return
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps({"schema": SCHEMA_VERSION, "kind": kind, "key": key,
+                        "payload": payload})
+        )
+        tmp.replace(path)
+    except OSError:
+        # A read-only or full cache directory must never fail the pipeline.
+        pass
+
+
+# ----------------------------------------------------------------------
+# Typed fetch/store
+# ----------------------------------------------------------------------
+def _fetch(
+    lru: _LRUCache,
+    kind: str,
+    key: str,
+    decode: Callable[[dict[str, Any]], Any],
+) -> list[Any] | None:
+    if not _enabled:
+        return None
+    cached = lru.get(key)
+    if cached is not None:
+        return list(cached)
+    raw = _disk_read(kind, key)
+    if raw is None:
+        return None
+    values = [decode(d) for d in raw]
+    lru.put(key, tuple(values))
+    return values
+
+
+def _store(
+    lru: _LRUCache,
+    kind: str,
+    key: str,
+    values: Iterable[Any],
+    encode: Callable[[Any], dict[str, Any]],
+) -> None:
+    if not _enabled:
+        return
+    frozen = tuple(values)
+    lru.put(key, frozen)
+    if cache_dir() is not None:
+        _disk_write(kind, key, [encode(v) for v in frozen])
+
+
+def fetch_candidates(key: str) -> list[Candidate] | None:
+    """Cached candidate list for *key*, or None on a miss."""
+    return _fetch(_LIBRARIES, "library", key, _candidate_from_jsonable)
+
+
+def store_candidates(key: str, candidates: Sequence[Candidate]) -> None:
+    """Memoize a built candidate library."""
+    _store(_LIBRARIES, "library", key, candidates, _candidate_to_jsonable)
+
+
+def fetch_curve(key: str) -> list[TaskConfiguration] | None:
+    """Cached configuration curve for *key*, or None on a miss."""
+    return _fetch(_CURVES, "curve", key, _configuration_from_jsonable)
+
+
+def store_curve(key: str, curve: Sequence[TaskConfiguration]) -> None:
+    """Memoize a built configuration curve."""
+    _store(_CURVES, "curve", key, curve, _configuration_to_jsonable)

@@ -32,6 +32,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Instruction-set customization for real-time embedded systems",
     )
+    parser.add_argument("--cache-dir", default=None,
+                        help="persist identification artifacts as JSON under "
+                             "this directory (overrides $REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the in-process artifact cache")
+    parser.add_argument("--engine", choices=("bitset", "reference"),
+                        default="bitset",
+                        help="candidate-enumeration engine (default bitset)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("benchmarks", help="list built-in synthetic benchmarks")
@@ -49,11 +57,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_cust.add_argument("--area", type=float, default=None,
                         help="CFU area budget (default: half of MaxArea)")
     p_cust.add_argument("--input", help="load the task set from JSON instead")
+    p_cust.add_argument("--workers", type=int, default=None,
+                        help="build per-task curves in N parallel processes")
 
     p_par = sub.add_parser("pareto", help="utilization-area Pareto curve (Ch. 4)")
     p_par.add_argument("benchmarks", nargs="+")
     p_par.add_argument("--eps", type=float, default=0.69)
     p_par.add_argument("--utilization", type=float, default=1.0)
+    p_par.add_argument("--workers", type=int, default=None,
+                       help="build per-task curves in N parallel processes")
 
     p_exp = sub.add_parser("explain", help="sensitivity analysis of a task set")
     p_exp.add_argument("benchmarks", nargs="+")
@@ -89,7 +101,9 @@ def _cmd_curve(args: argparse.Namespace) -> int:
     from repro.rtsched.task import TaskSet
     from repro.workloads import get_program
 
-    task = build_task(get_program(args.benchmark), objective=args.objective)
+    task = build_task(
+        get_program(args.benchmark), objective=args.objective, engine=args.engine
+    )
     xs = [c.area for c in task.configurations]
     ys = [c.cycles for c in task.configurations]
     print(f"configuration curve for {args.benchmark} ({args.objective}):")
@@ -111,7 +125,12 @@ def _cmd_customize(args: argparse.Namespace) -> int:
         task_set = repro_io.task_set_from_dict(repro_io.load_json(args.input))
     else:
         programs = programs_for(tuple(args.benchmarks))
-        task_set = build_task_set(programs, target_utilization=args.utilization)
+        task_set = build_task_set(
+            programs,
+            target_utilization=args.utilization,
+            workers=args.workers,
+            engine=args.engine,
+        )
     budget = args.area if args.area is not None else 0.5 * task_set.max_area
     result = customize(task_set, budget, policy=args.policy)
     rows = [
@@ -132,12 +151,12 @@ def _cmd_customize(args: argparse.Namespace) -> int:
 
 
 def _cmd_pareto(args: argparse.Namespace) -> int:
-    from repro.core import build_task
+    from repro.core.flow import build_tasks
     from repro.pareto import TaskCurve, approx_utilization_curve
     from repro.workloads import programs_for
 
     programs = programs_for(tuple(args.benchmarks))
-    tasks = [build_task(p) for p in programs]
+    tasks = build_tasks(programs, workers=args.workers, engine=args.engine)
     alpha = len(tasks) / args.utilization
     curves = [
         TaskCurve(
@@ -240,6 +259,12 @@ def _cmd_reconfig(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    from repro import cache
+
+    if args.cache_dir:
+        cache.set_cache_dir(args.cache_dir)
+    if args.no_cache:
+        cache.set_enabled(False)
     if args.command == "benchmarks":
         return _cmd_benchmarks()
     if args.command == "curve":

@@ -5,6 +5,7 @@ from repro.core.edf_select import EdfSelection, select_edf
 from repro.core.flow import (
     CustomizationResult,
     build_task,
+    build_tasks,
     build_task_set,
     customize,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "select_edf",
     "CustomizationResult",
     "build_task",
+    "build_tasks",
     "build_task_set",
     "customize",
     "RmsSelection",

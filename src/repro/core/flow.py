@@ -26,7 +26,13 @@ from repro.selection.config_curve import (
     downsample_curve,
 )
 
-__all__ = ["CustomizationResult", "build_task", "build_task_set", "customize"]
+__all__ = [
+    "CustomizationResult",
+    "build_task",
+    "build_tasks",
+    "build_task_set",
+    "customize",
+]
 
 
 @dataclass(frozen=True)
@@ -70,6 +76,8 @@ def build_task(
     curve_steps: int = 12,
     method: str = "greedy",
     max_configs: int = 24,
+    engine: str = "bitset",
+    use_cache: bool = True,
 ) -> PeriodicTask:
     """Build a :class:`PeriodicTask` with a configuration curve from a program.
 
@@ -81,9 +89,17 @@ def build_task(
         max_inputs / max_outputs: register-port constraints.
         curve_steps: number of area budgets explored for the curve.
         method: candidate-selection method for the curve.
+        engine: candidate-enumeration engine (``"bitset"`` or
+            ``"reference"``).
+        use_cache: memoize the identification artifacts (candidate library
+            and configuration curve) through :mod:`repro.cache`.
     """
     library = build_candidate_library(
-        program, max_inputs=max_inputs, max_outputs=max_outputs
+        program,
+        max_inputs=max_inputs,
+        max_outputs=max_outputs,
+        engine=engine,
+        use_cache=use_cache,
     )
     curve = build_configuration_curve(
         program,
@@ -91,6 +107,7 @@ def build_task(
         steps=curve_steps,
         objective=objective,
         method=method,
+        use_cache=use_cache,
     )
     curve = downsample_curve(curve, max_configs)
     wcet = curve[0].cycles
@@ -102,15 +119,55 @@ def build_task(
     )
 
 
+def _build_task_job(args: tuple[Program, dict]) -> PeriodicTask:
+    """Module-level worker so :func:`build_tasks` jobs can be pickled."""
+    program, kwargs = args
+    return build_task(program, **kwargs)
+
+
+def build_tasks(
+    programs: Sequence[Program],
+    workers: int | None = None,
+    **task_kwargs,
+) -> list[PeriodicTask]:
+    """Build one :class:`PeriodicTask` per program, optionally in parallel.
+
+    Args:
+        programs: the task programs.
+        workers: when > 1, fan the per-task identification+curve work out
+            over a :class:`~concurrent.futures.ProcessPoolExecutor` with
+            that many processes (default: serial).  Results are returned in
+            program order either way; if the pool cannot be created (e.g.
+            a sandbox without process support) the build silently falls
+            back to serial.
+        **task_kwargs: forwarded to :func:`build_task`.
+    """
+    if workers is not None and workers > 1 and len(programs) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        jobs = [(p, task_kwargs) for p in programs]
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_build_task_job, jobs))
+        except (OSError, PermissionError):
+            pass
+    return [build_task(p, **task_kwargs) for p in programs]
+
+
 def build_task_set(
     programs: Sequence[Program],
     target_utilization: float,
     name: str = "",
     objective: str = "avg",
+    workers: int | None = None,
     **task_kwargs,
 ) -> TaskSet:
-    """Build a task set from programs with periods scaled to a utilization."""
-    tasks = [build_task(p, objective=objective, **task_kwargs) for p in programs]
+    """Build a task set from programs with periods scaled to a utilization.
+
+    Pass ``workers=N`` to build the per-task libraries and curves in N
+    parallel processes (see :func:`build_tasks`).
+    """
+    tasks = build_tasks(programs, workers=workers, objective=objective, **task_kwargs)
     return scale_periods_for_utilization(tasks, target_utilization, name=name)
 
 

@@ -4,10 +4,15 @@ Ties together profiling, region decomposition and MIMO enumeration: for each
 *hot* basic block (a block whose profile weight is at least a fraction of the
 program's total cycles — thesis Section 2.2), enumerate feasible candidates
 and annotate them with the block's execution frequency.
+
+Libraries are memoized through :mod:`repro.cache` keyed on the program's
+structural fingerprint plus every enumeration parameter, so area/utilization
+sweeps that revisit the same program skip enumeration entirely.
 """
 
 from __future__ import annotations
 
+from repro import cache
 from repro.enumeration.mimo import enumerate_connected
 from repro.enumeration.patterns import CandidateLibrary, make_candidate
 from repro.graphs.program import Program
@@ -45,6 +50,9 @@ def build_candidate_library(
     include_disconnected: bool = False,
     max_disconnected_per_block: int = 200,
     model: HardwareCostModel = DEFAULT_COST_MODEL,
+    engine: str = "bitset",
+    use_cache: bool = True,
+    stats: dict | None = None,
 ) -> CandidateLibrary:
     """Enumerate custom-instruction candidates for *program*.
 
@@ -61,11 +69,35 @@ def build_candidate_library(
             hardware latency is the max of the component paths).
         max_disconnected_per_block: pairing cap per block.
         model: the hardware cost model.
+        engine: enumeration engine (see
+            :func:`repro.enumeration.mimo.enumerate_connected`).
+        use_cache: consult/populate the content-keyed artifact cache
+            (:mod:`repro.cache`).
+        stats: optional dict accumulating enumeration ``visited``/``feasible``
+            counters (bypassed on cache hits).
 
     Returns:
         A :class:`CandidateLibrary` with profitable candidates only, ordered
         by decreasing total gain.
     """
+    key = None
+    if use_cache:
+        key = cache.artifact_key(
+            cache.program_fingerprint(program),
+            kind="library",
+            max_inputs=max_inputs,
+            max_outputs=max_outputs,
+            hot_threshold=hot_threshold,
+            max_size=max_size,
+            max_candidates_per_block=max_candidates_per_block,
+            include_disconnected=include_disconnected,
+            max_disconnected_per_block=max_disconnected_per_block,
+            model=(type(model).__name__, model.cycle_delay),
+            engine=engine,
+        )
+        hit = cache.fetch_candidates(key)
+        if hit is not None:
+            return CandidateLibrary(hit)
     freq = program.profile()
     blocks = program.basic_blocks
     library = CandidateLibrary()
@@ -77,6 +109,8 @@ def build_candidate_library(
             max_outputs=max_outputs,
             max_size=max_size,
             max_candidates=max_candidates_per_block,
+            engine=engine,
+            stats=stats,
         )
         if include_disconnected:
             from repro.enumeration.disconnected import pair_disconnected
@@ -99,4 +133,6 @@ def build_candidate_library(
             if cand.total_gain > 0:
                 library.add(cand)
     ordered = sorted(library, key=lambda c: (-c.total_gain, c.area))
+    if use_cache and key is not None:
+        cache.store_candidates(key, ordered)
     return CandidateLibrary(ordered)

@@ -30,7 +30,7 @@ import networkx as nx
 from repro.errors import GraphError
 from repro.isa.opcodes import Opcode, is_valid_op, op_info
 
-__all__ = ["DataFlowGraph", "IOCount"]
+__all__ = ["DataFlowGraph", "DFGMasks", "IOCount"]
 
 
 @dataclass(frozen=True)
@@ -39,6 +39,34 @@ class IOCount:
 
     inputs: int
     outputs: int
+
+
+@dataclass(frozen=True)
+class DFGMasks:
+    """Per-node bitmask views of a DFG, for bit-parallel subgraph queries.
+
+    Node ``n`` corresponds to bit ``1 << n``.  All masks are restricted to
+    ``full`` (non-negative), so ``int.bit_count`` is always meaningful.
+
+    Attributes:
+        full: mask with one bit per node.
+        valid: nodes whose opcode may appear in a custom instruction.
+        live_out: nodes whose value escapes the basic block.
+        pred / succ: direct predecessor / successor mask per node.
+        anc / desc: strict transitive ancestor / descendant mask per node.
+        adj_valid: undirected adjacency restricted to valid nodes.
+        external_inputs: live-in operand count per node.
+    """
+
+    full: int
+    valid: int
+    live_out: int
+    pred: tuple[int, ...]
+    succ: tuple[int, ...]
+    anc: tuple[int, ...]
+    desc: tuple[int, ...]
+    adj_valid: tuple[int, ...]
+    external_inputs: tuple[int, ...]
 
 
 @dataclass
@@ -67,6 +95,7 @@ class DataFlowGraph:
         self._nodes: list[_Node] = []
         self._preds: list[list[int]] = []
         self._succs: list[list[int]] = []
+        self._masks: DFGMasks | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -115,11 +144,13 @@ class DataFlowGraph:
         self._succs.append([])
         for p in preds:
             self._succs[p].append(node_id)
+        self._masks = None
         return node_id
 
     def set_live_out(self, node: int, live_out: bool = True) -> None:
         """Mark *node*'s value as escaping the basic block."""
         self._nodes[node].live_out = live_out
+        self._masks = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -176,6 +207,59 @@ class DataFlowGraph:
     def sw_cycles(self) -> int:
         """Total software latency of the block on the base processor."""
         return sum(op_info(n.op).sw_cycles for n in self._nodes)
+
+    def bitset_masks(self) -> DFGMasks:
+        """Precomputed bitmask views of the graph (cached until mutation).
+
+        Computed once per DFG in O(V·E) word operations and reused by the
+        bitset enumeration engine, which replaces per-subgraph set algebra
+        with O(1) big-int operations.
+        """
+        if self._masks is not None:
+            return self._masks
+        n = len(self._nodes)
+        full = (1 << n) - 1
+        pred = [0] * n
+        succ = [0] * n
+        anc = [0] * n
+        desc = [0] * n
+        valid = 0
+        live_out = 0
+        for i, node in enumerate(self._nodes):
+            bit = 1 << i
+            if is_valid_op(node.op):
+                valid |= bit
+            if node.live_out:
+                live_out |= bit
+            pm = 0
+            am = 0
+            for p in self._preds[i]:
+                pm |= 1 << p
+                am |= anc[p] | (1 << p)
+            pred[i] = pm
+            anc[i] = am  # ids are topological, so anc[p] is final
+            for s in self._succs[i]:
+                succ[i] |= 1 << s
+        for i in range(n - 1, -1, -1):
+            dm = 0
+            for s in self._succs[i]:
+                dm |= desc[s] | (1 << s)
+            desc[i] = dm
+        adj_valid = [
+            (pred[i] | succ[i]) & valid if valid >> i & 1 else 0 for i in range(n)
+        ]
+        self._masks = DFGMasks(
+            full=full,
+            valid=valid,
+            live_out=live_out,
+            pred=tuple(pred),
+            succ=tuple(succ),
+            anc=tuple(anc),
+            desc=tuple(desc),
+            adj_valid=tuple(adj_valid),
+            external_inputs=tuple(nd.external_inputs for nd in self._nodes),
+        )
+        return self._masks
 
     # ------------------------------------------------------------------
     # Subgraph queries

@@ -5,8 +5,8 @@ from repro.selection.branch_bound import select_branch_bound
 from repro.selection.genetic import select_genetic
 from repro.selection.config_curve import (
     TaskConfiguration,
+    bind_customized_cost,
     build_configuration_curve,
-    customized_block_cost,
     downsample_curve,
 )
 from repro.selection.greedy import PRIORITY_FUNCTIONS, select_greedy
@@ -18,8 +18,8 @@ __all__ = [
     "select_genetic",
     "select_branch_bound",
     "TaskConfiguration",
+    "bind_customized_cost",
     "build_configuration_curve",
-    "customized_block_cost",
     "downsample_curve",
     "PRIORITY_FUNCTIONS",
     "select_greedy",

@@ -7,6 +7,11 @@ count.  Configuration ``j=0`` is always the pure-software version with zero
 area.  This module derives such curves from a task's program model by running
 candidate selection at stepped area budgets and re-evaluating the program
 cost after substitution.
+
+Curve construction is a hot path (Chapter 3/5 sweeps rebuild curves for
+every task), so the per-block software cost vector is computed once and
+greedy prefixes apply O(1) gain deltas per point instead of re-walking the
+whole program per budget (:class:`_IncrementalCoster`).
 """
 
 from __future__ import annotations
@@ -21,8 +26,8 @@ from repro.selection.greedy import select_greedy
 
 __all__ = [
     "TaskConfiguration",
+    "bind_customized_cost",
     "build_configuration_curve",
-    "customized_block_cost",
     "downsample_curve",
 ]
 
@@ -43,7 +48,8 @@ class TaskConfiguration:
     selected: tuple[int, ...] = ()
 
 
-def customized_block_cost(
+def bind_customized_cost(
+    program: Program,
     candidates: Sequence[Candidate],
     selected: Sequence[int],
 ) -> Callable[[Block], float]:
@@ -52,7 +58,7 @@ def customized_block_cost(
     Each selected candidate lowers its owning block's latency by its
     per-execution gain.  The returned callable is suitable for
     :meth:`repro.graphs.program.Program.wcet` and friends; it resolves blocks
-    by identity through their position captured at call time.
+    by identity through their position in *program*.
     """
     saved_by_block: dict[int, float] = {}
     for i in selected:
@@ -60,38 +66,84 @@ def customized_block_cost(
         saved_by_block[c.block_index] = (
             saved_by_block.get(c.block_index, 0.0) + c.gain_per_exec
         )
+    index = {id(b): i for i, b in enumerate(program.basic_blocks)}
 
-    # The cost function needs the block's index; capture via attribute lookup
-    # at first use (programs hand us Block objects, not indices).
-    block_index_cache: dict[int, int] = {}
+    def cost(block: Block) -> float:
+        i = index[id(block)]
+        return max(
+            1.0, float(block.dfg.sw_cycles()) - saved_by_block.get(i, 0.0)
+        )
 
-    def bind(program: Program) -> Callable[[Block], float]:
-        index = {id(b): i for i, b in enumerate(program.basic_blocks)}
+    return cost
 
-        def cost(block: Block) -> float:
-            i = index[id(block)]
-            return max(
-                1.0, float(block.dfg.sw_cycles()) - saved_by_block.get(i, 0.0)
+
+class _IncrementalCoster:
+    """Tracks program cost across growing candidate selections.
+
+    Precomputes the per-block software cost vector and (for the ``"avg"``
+    objective) the profile frequencies once; adding a candidate then updates
+    only its owning block's contribution.  The ``"wcet"`` objective still
+    needs a timing-schema tree walk per query (``max`` over branches is not
+    decomposable into per-block deltas), but reuses the precomputed vectors
+    instead of re-deriving block costs and indices per point.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        candidates: Sequence[Candidate],
+        objective: str,
+    ) -> None:
+        if objective not in ("wcet", "avg"):
+            raise ValueError(
+                f"unknown objective {objective!r}; use 'wcet' or 'avg'"
             )
+        self._program = program
+        self._candidates = candidates
+        self._objective = objective
+        blocks = program.basic_blocks
+        self._sw = [float(b.dfg.sw_cycles()) for b in blocks]
+        self._saved = [0.0] * len(blocks)
+        if objective == "avg":
+            freq = program.profile()
+            self._freq = [freq.get(i, 0.0) for i in range(len(blocks))]
+            self._contrib = [
+                f * max(1.0, s) for f, s in zip(self._freq, self._sw)
+            ]
+        else:
+            self._index = {id(b): i for i, b in enumerate(blocks)}
 
-        return cost
+    def _block_cost(self, i: int) -> float:
+        return max(1.0, self._sw[i] - self._saved[i])
 
-    return bind  # type: ignore[return-value]
+    def add(self, candidate_index: int) -> None:
+        """Apply one more selected candidate's gain to its owning block."""
+        c = self._candidates[candidate_index]
+        b = c.block_index
+        self._saved[b] += c.gain_per_exec
+        if self._objective == "avg":
+            self._contrib[b] = self._freq[b] * self._block_cost(b)
 
+    def set_selection(self, selected: Sequence[int]) -> None:
+        """Reset to an arbitrary selection (for non-nested methods)."""
+        for b, s in enumerate(self._saved):
+            if s:
+                self._saved[b] = 0.0
+                if self._objective == "avg":
+                    self._contrib[b] = self._freq[b] * max(1.0, self._sw[b])
+        for i in selected:
+            self.add(i)
 
-def _program_cost(
-    program: Program,
-    candidates: Sequence[Candidate],
-    selected: Sequence[int],
-    objective: str,
-) -> float:
-    bind = customized_block_cost(candidates, selected)
-    cost = bind(program)  # type: ignore[operator]
-    if objective == "wcet":
-        return program.wcet(cost)
-    if objective == "avg":
-        return program.avg_cycles(cost)
-    raise ValueError(f"unknown objective {objective!r}; use 'wcet' or 'avg'")
+    def cost(self) -> float:
+        """Program cost under the current selection."""
+        if self._objective == "avg":
+            return sum(self._contrib)
+        index = self._index
+
+        def block_cost(block: Block) -> float:
+            return self._block_cost(index[id(block)])
+
+        return self._program.wcet(block_cost)
 
 
 def build_configuration_curve(
@@ -101,6 +153,7 @@ def build_configuration_curve(
     steps: int = 12,
     objective: str = "avg",
     method: str = "greedy",
+    use_cache: bool = True,
 ) -> list[TaskConfiguration]:
     """Build a task's Pareto-filtered configuration curve.
 
@@ -112,6 +165,8 @@ def build_configuration_curve(
         steps: number of budget steps between 0 and *max_area*.
         objective: ``"wcet"`` or ``"avg"`` program cost.
         method: ``"greedy"`` (fast) or ``"optimal"`` (branch and bound).
+        use_cache: memoize the curve through :mod:`repro.cache`, keyed on
+            the program structure, the candidate list and all parameters.
 
     Returns:
         Configurations sorted by increasing area, starting with the software
@@ -120,9 +175,28 @@ def build_configuration_curve(
     """
     if method not in ("greedy", "optimal"):
         raise ValueError(f"unknown method {method!r}; use 'greedy' or 'optimal'")
+    if objective not in ("wcet", "avg"):
+        raise ValueError(f"unknown objective {objective!r}; use 'wcet' or 'avg'")
+    key = None
+    if use_cache:
+        from repro import cache
+
+        key = cache.artifact_key(
+            cache.program_fingerprint(program),
+            kind="curve",
+            candidates=cache.candidates_digest(candidates),
+            max_area=max_area,
+            steps=steps,
+            objective=objective,
+            method=method,
+        )
+        hit = cache.fetch_curve(key)
+        if hit is not None:
+            return hit
+    coster = _IncrementalCoster(program, candidates, objective)
     profitable_area = sum(c.area for c in candidates if c.total_gain > 0)
     ceiling = max_area if max_area is not None else profitable_area
-    base_cycles = _program_cost(program, candidates, [], objective)
+    base_cycles = coster.cost()
     points: list[TaskConfiguration] = [
         TaskConfiguration(area=0.0, cycles=base_cycles, selected=())
     ]
@@ -130,18 +204,19 @@ def build_configuration_curve(
         return points
     if method == "greedy":
         # Greedy selections nest as the budget grows, so the prefixes of a
-        # single unbounded greedy run give the whole (fine-grained) curve.
+        # single unbounded greedy run give the whole (fine-grained) curve,
+        # each point costing one O(1) delta instead of a program re-walk.
         order = select_greedy(candidates, ceiling)
         prefix: list[int] = []
         for i in order:
             prefix.append(i)
+            coster.add(i)
             sel = tuple(sorted(prefix))
             used_area = sum(candidates[k].area for k in sel)
-            cycles = _program_cost(program, candidates, sel, objective)
             points.append(
-                TaskConfiguration(area=used_area, cycles=cycles, selected=sel)
+                TaskConfiguration(area=used_area, cycles=coster.cost(), selected=sel)
             )
-    elif method == "optimal":
+    else:
         if steps <= 0:
             return points
         seen: set[tuple[int, ...]] = {()}
@@ -152,12 +227,10 @@ def build_configuration_curve(
                 continue
             seen.add(sel)
             used_area = sum(candidates[i].area for i in sel)
-            cycles = _program_cost(program, candidates, sel, objective)
+            coster.set_selection(sel)
             points.append(
-                TaskConfiguration(area=used_area, cycles=cycles, selected=sel)
+                TaskConfiguration(area=used_area, cycles=coster.cost(), selected=sel)
             )
-    else:
-        raise ValueError(f"unknown method {method!r}; use 'greedy' or 'optimal'")
     # Pareto filter: sort by area then drop points not improving cycles.
     points.sort(key=lambda p: (p.area, p.cycles))
     frontier: list[TaskConfiguration] = []
@@ -169,6 +242,10 @@ def build_configuration_curve(
                 frontier[-1] = p
             else:
                 frontier.append(p)
+    if key is not None:
+        from repro import cache
+
+        cache.store_curve(key, frontier)
     return frontier
 
 

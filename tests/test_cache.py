@@ -1,0 +1,166 @@
+"""Tests for the content-keyed identification-artifact cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cache
+from repro.core.flow import build_task, build_tasks
+from repro.enumeration import build_candidate_library
+from repro.graphs.dfg import DataFlowGraph
+from repro.graphs.program import Block, Loop, Program, Seq
+from repro.isa.opcodes import Opcode
+from repro.selection import build_configuration_curve
+from tests.conftest import random_small_dfg
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test starts with an empty in-process cache and no disk tier."""
+    cache.set_enabled(True)
+    cache.set_cache_dir(None)
+    cache.clear()
+    yield
+    cache.set_enabled(True)
+    cache.reset_cache_dir()
+    cache.clear()
+
+
+def make_program(name: str = "p", bound: int = 10) -> Program:
+    def block(ops: int, seed: int) -> Block:
+        return Block(random_small_dfg(seed, ops))
+
+    return Program(
+        name,
+        Seq([block(4, 1), Loop(block(8, 2), bound=bound), block(3, 3)]),
+    )
+
+
+class TestFingerprint:
+    def test_identical_structure_same_fingerprint(self):
+        a, b = make_program("a"), make_program("b")
+        assert cache.program_fingerprint(a) == cache.program_fingerprint(b)
+
+    def test_structural_change_changes_fingerprint(self):
+        a = make_program(bound=10)
+        b = make_program(bound=11)
+        assert cache.program_fingerprint(a) != cache.program_fingerprint(b)
+
+    def test_dfg_change_changes_fingerprint(self):
+        a = make_program()
+        b = make_program()
+        b.basic_blocks[0].dfg.set_live_out(0)
+        assert cache.program_fingerprint(a) != cache.program_fingerprint(b)
+
+    def test_artifact_key_sensitive_to_params(self):
+        fp = cache.program_fingerprint(make_program())
+        assert cache.artifact_key(fp, max_inputs=4) != cache.artifact_key(
+            fp, max_inputs=2
+        )
+
+
+class TestLibraryCache:
+    def test_second_build_hits_cache(self):
+        program = make_program()
+        first = build_candidate_library(program)
+        before = cache.cache_info()["library"]["hits"]
+        second = build_candidate_library(program)
+        assert cache.cache_info()["library"]["hits"] == before + 1
+        assert first.candidates == second.candidates
+
+    def test_equivalent_program_objects_share_entries(self):
+        first = build_candidate_library(make_program("x"))
+        second = build_candidate_library(make_program("y"))
+        assert first.candidates == second.candidates
+        assert cache.cache_info()["library"]["hits"] >= 1
+
+    def test_use_cache_false_bypasses(self):
+        program = make_program()
+        build_candidate_library(program, use_cache=False)
+        assert cache.cache_info()["library"]["size"] == 0
+
+    def test_param_change_misses(self):
+        program = make_program()
+        build_candidate_library(program)
+        build_candidate_library(program, max_inputs=2)
+        assert cache.cache_info()["library"]["size"] == 2
+
+    def test_disabled_globally(self):
+        cache.set_enabled(False)
+        build_candidate_library(make_program())
+        assert cache.cache_info()["library"]["size"] == 0
+
+
+class TestCurveCache:
+    def test_second_curve_hits_cache(self):
+        program = make_program()
+        lib = build_candidate_library(program)
+        a = build_configuration_curve(program, lib.candidates)
+        b = build_configuration_curve(program, lib.candidates)
+        assert a == b
+        assert cache.cache_info()["curve"]["hits"] >= 1
+
+    def test_candidate_subset_gets_distinct_entry(self):
+        program = make_program()
+        lib = build_candidate_library(program)
+        full = build_configuration_curve(program, lib.candidates)
+        half = build_configuration_curve(program, lib.candidates[: len(lib) // 2])
+        assert cache.cache_info()["curve"]["size"] == 2
+        assert full[0].cycles == half[0].cycles  # same software point
+
+
+class TestDiskCache:
+    def test_roundtrip_through_disk(self, tmp_path):
+        cache.set_cache_dir(tmp_path)
+        program = make_program()
+        lib = build_candidate_library(program)
+        curve = build_configuration_curve(program, lib.candidates)
+        assert list(tmp_path.glob("repro-cache-*.json"))
+        # Drop the in-process tier; the disk tier must reproduce everything.
+        cache.clear()
+        lib2 = build_candidate_library(program)
+        curve2 = build_configuration_curve(program, lib2.candidates)
+        assert lib2.candidates == lib.candidates
+        assert curve2 == curve
+
+    def test_structural_keys_survive_json(self, tmp_path):
+        cache.set_cache_dir(tmp_path)
+        program = make_program()
+        lib = build_candidate_library(program)
+        cache.clear()
+        lib2 = build_candidate_library(program)
+        assert lib.isomorphism_classes() == lib2.isomorphism_classes()
+
+    def test_corrupt_file_ignored(self, tmp_path):
+        cache.set_cache_dir(tmp_path)
+        program = make_program()
+        build_candidate_library(program)
+        for f in tmp_path.glob("repro-cache-*.json"):
+            f.write_text("{not json")
+        cache.clear()
+        lib = build_candidate_library(program)  # silently rebuilds
+        assert len(lib) > 0
+
+
+class TestTaskBuildIntegration:
+    def test_build_task_warm_path_equal(self):
+        program = make_program()
+        cold = build_task(program)
+        warm = build_task(program)
+        assert cold == warm
+        info = cache.cache_info()
+        assert info["library"]["hits"] >= 1
+        assert info["curve"]["hits"] >= 1
+
+    def test_engines_cached_separately(self):
+        program = make_program()
+        build_task(program, engine="bitset")
+        build_task(program, engine="reference")
+        assert cache.cache_info()["library"]["size"] == 2
+
+    def test_parallel_build_matches_serial(self):
+        programs = [make_program(f"p{i}", bound=10 + i) for i in range(3)]
+        serial = build_tasks(programs)
+        cache.clear()
+        parallel = build_tasks(programs, workers=2)
+        assert serial == parallel

@@ -6,8 +6,8 @@ import pytest
 
 from repro.enumeration import build_candidate_library
 from repro.selection import (
+    bind_customized_cost,
     build_configuration_curve,
-    customized_block_cost,
     downsample_curve,
 )
 from repro.selection.config_curve import TaskConfiguration
@@ -102,8 +102,7 @@ class TestCustomizedCost:
         lib = build_candidate_library(tiny_program)
         if not lib.candidates:
             pytest.skip("no candidates in tiny program")
-        bind = customized_block_cost(lib.candidates, [0])
-        cost = bind(tiny_program)
+        cost = bind_customized_cost(tiny_program, lib.candidates, [0])
         c = lib.candidates[0]
         block = tiny_program.basic_blocks[c.block_index]
         assert cost(block) == pytest.approx(
@@ -114,9 +113,35 @@ class TestCustomizedCost:
         lib = build_candidate_library(tiny_program)
         if not lib.candidates:
             pytest.skip("no candidates")
-        bind = customized_block_cost(lib.candidates, [0])
-        cost = bind(tiny_program)
+        cost = bind_customized_cost(tiny_program, lib.candidates, [0])
         c = lib.candidates[0]
         for i, block in enumerate(tiny_program.basic_blocks):
             if i != c.block_index:
                 assert cost(block) == pytest.approx(block.dfg.sw_cycles())
+
+
+class TestIncrementalCosting:
+    """The incremental curve coster must match a from-scratch re-evaluation."""
+
+    @pytest.mark.parametrize("objective", ["avg", "wcet"])
+    def test_curve_points_match_naive_recompute(self, tiny_program, objective):
+        lib = build_candidate_library(tiny_program)
+        curve = build_configuration_curve(
+            tiny_program, lib.candidates, objective=objective, use_cache=False
+        )
+        evaluate = {
+            "avg": tiny_program.avg_cycles,
+            "wcet": tiny_program.wcet,
+        }[objective]
+        for pt in curve:
+            cost = bind_customized_cost(tiny_program, lib.candidates, pt.selected)
+            assert pt.cycles == pytest.approx(evaluate(cost))
+
+    def test_optimal_method_matches_naive_recompute(self, tiny_program):
+        lib = build_candidate_library(tiny_program)
+        curve = build_configuration_curve(
+            tiny_program, lib.candidates, method="optimal", steps=4, use_cache=False
+        )
+        for pt in curve:
+            cost = bind_customized_cost(tiny_program, lib.candidates, pt.selected)
+            assert pt.cycles == pytest.approx(tiny_program.avg_cycles(cost))
