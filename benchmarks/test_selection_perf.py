@@ -1,0 +1,177 @@
+"""Design-space-exploration speed harness (PR 2 perf trajectory).
+
+Times the fast engines introduced for the chapter 4-7 pipeline against the
+scalar oracles they retain:
+
+* ``inter_pareto``   — the frontier-merge exact utilization-area curve vs
+  the recursion-(4.2) DP over the full cost axis, on a gate-scale 8-task
+  x 12-option instance;
+* ``simulation``     — the event-compressed scheduler simulator vs the
+  release-by-release reference over one hyperperiod, EDF and RM;
+* ``edf_selection``  — the stacked-argmin Algorithm 1 DP vs the original
+  masked-update loop.
+
+Each comparison also asserts bit-identical results (same curves, same
+verdicts, same assignments) so the speed numbers always describe
+equivalent computations.  Speedups and timings are written to
+``benchmarks/results/BENCH_selection.json``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+
+from benchmarks.common import emit_json
+from repro import cache
+from repro.core import select_edf
+from repro.pareto import TaskCurve, exact_utilization_curve
+from repro.rtsched.simulator import simulate
+from repro.testing import random_task_set
+
+
+def _gate_scale_curves(seed: int = 7) -> list[TaskCurve]:
+    """8 tasks x 12 options with realistic (hundreds-of-adders) areas.
+
+    Large per-option areas blow up the reference DP's cost axis
+    (cap = sum of per-task maxima) while the merge engine only ever holds
+    the undominated partial frontier.
+    """
+    rng = random.Random(seed)
+    curves = []
+    for _ in range(8):
+        period = float(rng.randint(2_000, 8_000))
+        workloads = sorted(
+            (float(rng.randint(200, 1_900)) for _ in range(12)), reverse=True
+        )
+        areas = [0] + sorted(rng.randint(20, 900) for _ in range(11))
+        curves.append(
+            TaskCurve(period=period, workloads=tuple(workloads), areas=tuple(areas))
+        )
+    return curves
+
+
+#: Simulation workloads: non-harmonic periods -> large lcm hyperperiods.
+SIM_WORKLOADS = {
+    "8task_lcm9240": (
+        (8.0, 10.0, 12.0, 15.0, 20.0, 22.0, 28.0, 30.0),
+        (1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 5.0, 5.0),
+    ),
+    "5task_lcm8400": (
+        (7.0, 12.0, 16.0, 25.0, 30.0),
+        (1.0, 3.0, 4.0, 6.0, 7.0),
+    ),
+}
+
+
+def _best_of(fn, repeats: int = 3) -> tuple[float, object]:
+    """Minimum wall-clock over *repeats* runs (and the last result)."""
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _ratio(a: float, b: float) -> float:
+    return round(a / b, 2) if b > 0 else math.inf
+
+
+def _bench_inter_pareto() -> dict:
+    curves = _gate_scale_curves()
+    t_ref, ref = _best_of(
+        lambda: exact_utilization_curve(curves, engine="reference", use_cache=False),
+        repeats=1,
+    )
+    t_merge, merge = _best_of(
+        lambda: exact_utilization_curve(curves, engine="merge", use_cache=False)
+    )
+    assert [(p.value, p.cost) for p in merge] == [(p.value, p.cost) for p in ref]
+    return {
+        "instance": "8tasks_x_12options_gate_scale",
+        "curve_points": len(merge),
+        "reference_seconds": round(t_ref, 4),
+        "merge_seconds": round(t_merge, 4),
+        "speedup": _ratio(t_ref, t_merge),
+    }
+
+
+def _bench_simulation() -> dict:
+    rows = {}
+    for label, (periods, costs) in SIM_WORKLOADS.items():
+        for policy in ("edf", "rm"):
+            t_ref, ref = _best_of(
+                lambda p=periods, c=costs, pol=policy: simulate(
+                    list(p), list(c), policy=pol, engine="reference"
+                ),
+                repeats=1,
+            )
+            t_event, fast = _best_of(
+                lambda p=periods, c=costs, pol=policy: simulate(
+                    list(p), list(c), policy=pol
+                )
+            )
+            assert fast.schedulable == ref.schedulable
+            assert fast.missed == ref.missed
+            rows[f"{label}_{policy}"] = {
+                "hyperperiod": ref.horizon,
+                "schedulable": ref.schedulable,
+                "reference_seconds": round(t_ref, 4),
+                "event_seconds": round(t_event, 4),
+                "speedup": _ratio(t_ref, t_event),
+            }
+    return rows
+
+
+def _bench_edf_selection() -> dict:
+    ts = random_task_set(11, n_tasks=10, max_configs=12)
+    budget = 0.5 * ts.max_area
+    t_ref, ref = _best_of(
+        lambda: select_edf(ts, budget, max_steps=40_000, engine="reference",
+                           use_cache=False)
+    )
+    t_vec, vec = _best_of(
+        lambda: select_edf(ts, budget, max_steps=40_000, engine="vector",
+                           use_cache=False)
+    )
+    assert vec.assignment == ref.assignment
+    assert vec.utilization == ref.utilization
+    return {
+        "instance": "10tasks_x_12configs",
+        "reference_seconds": round(t_ref, 4),
+        "vector_seconds": round(t_vec, 4),
+        "speedup": _ratio(t_ref, t_vec),
+    }
+
+
+def test_selection_pipeline_speed(benchmark):
+    cache.clear()
+
+    def run() -> dict:
+        return {
+            "inter_pareto": _bench_inter_pareto(),
+            "simulation": _bench_simulation(),
+            "edf_selection": _bench_edf_selection(),
+        }
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    sim_speedups = {k: v["speedup"] for k, v in payload["simulation"].items()}
+    payload["speedups"] = {
+        "inter_pareto_merge_vs_dp": payload["inter_pareto"]["speedup"],
+        "simulation_event_vs_reference": sim_speedups,
+        "simulation_event_vs_reference_best": max(sim_speedups.values()),
+        "edf_selection_vector_vs_reference": payload["edf_selection"]["speedup"],
+    }
+    emit_json("BENCH_selection", payload)
+
+    # Acceptance: merge-based inter-task Pareto ≥3x over the full-axis DP
+    # (headline ~30-40x) and the event-compressed simulator ≥3x over the
+    # release-by-release engine on lcm-hyperperiod workloads (headline
+    # ~4-5x).  Assert with margin so CI noise cannot flake the build.
+    assert payload["speedups"]["inter_pareto_merge_vs_dp"] >= 3.0
+    assert payload["speedups"]["simulation_event_vs_reference_best"] >= 2.5
+    # The vector selection DP must at least not be slower than the oracle.
+    assert payload["speedups"]["edf_selection_vector_vs_reference"] >= 1.0

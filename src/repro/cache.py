@@ -42,14 +42,22 @@ __all__ = [
     "cache_info",
     "candidates_digest",
     "clear",
+    "curves_digest",
     "fetch_candidates",
     "fetch_curve",
+    "fetch_pareto",
+    "fetch_partition",
+    "fetch_selection",
     "program_fingerprint",
     "reset_cache_dir",
     "set_cache_dir",
     "set_enabled",
     "store_candidates",
     "store_curve",
+    "store_pareto",
+    "store_partition",
+    "store_selection",
+    "taskset_digest",
 ]
 
 #: Bump when the serialized payload layout changes (stale disk entries with
@@ -99,6 +107,9 @@ class _LRUCache:
 
 _LIBRARIES = _LRUCache(maxsize=256)
 _CURVES = _LRUCache(maxsize=512)
+_PARETO = _LRUCache(maxsize=512)
+_SELECTIONS = _LRUCache(maxsize=2048)
+_PARTITIONS = _LRUCache(maxsize=256)
 _enabled = True
 _dir_override: Path | None | str = ""  # "" means "follow the environment"
 
@@ -139,6 +150,9 @@ def clear(disk: bool = False) -> None:
     """Drop all in-process entries (and optionally the on-disk files)."""
     _LIBRARIES.clear()
     _CURVES.clear()
+    _PARETO.clear()
+    _SELECTIONS.clear()
+    _PARTITIONS.clear()
     if disk:
         d = cache_dir()
         if d is not None and d.is_dir():
@@ -158,6 +172,21 @@ def cache_info() -> dict[str, dict[str, int]]:
             "hits": _CURVES.hits,
             "misses": _CURVES.misses,
             "size": len(_CURVES),
+        },
+        "pareto": {
+            "hits": _PARETO.hits,
+            "misses": _PARETO.misses,
+            "size": len(_PARETO),
+        },
+        "selection": {
+            "hits": _SELECTIONS.hits,
+            "misses": _SELECTIONS.misses,
+            "size": len(_SELECTIONS),
+        },
+        "partition": {
+            "hits": _PARTITIONS.hits,
+            "misses": _PARTITIONS.misses,
+            "size": len(_PARTITIONS),
         },
     }
 
@@ -248,6 +277,33 @@ def candidates_digest(candidates: Sequence[Candidate]) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def taskset_digest(task_set: Any) -> str:
+    """SHA-256 hex digest of a task set's schedulability-relevant content.
+
+    Covers periods and every configuration's (area, cycles) pair, in task
+    order; names are deliberately excluded (content addressing, as with
+    :func:`program_fingerprint`).  Accepts any object with a ``tasks``
+    sequence of objects carrying ``period`` and ``configurations``.
+    """
+    payload = repr(
+        tuple(
+            (t.period, tuple((c.area, c.cycles) for c in t.configurations))
+            for t in task_set.tasks
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def curves_digest(tasks: Sequence[Any]) -> str:
+    """SHA-256 hex digest of per-task workload-area curves (Ch. 4 inputs).
+
+    Accepts any sequence of objects with ``period``, ``workloads`` and
+    ``areas`` attributes (:class:`repro.pareto.inter.TaskCurve`).
+    """
+    payload = repr(tuple((t.period, t.workloads, t.areas) for t in tasks))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 def artifact_key(fingerprint: str, **params: Any) -> str:
     """Key for one artifact: program fingerprint + pipeline parameters."""
     canon = json.dumps(params, sort_keys=True, default=repr)
@@ -310,7 +366,7 @@ def _disk_path(kind: str, key: str) -> Path | None:
     return d / f"repro-cache-{kind}-{key[:40]}.json"
 
 
-def _disk_read(kind: str, key: str) -> list[Any] | None:
+def _disk_read(kind: str, key: str) -> Any | None:
     path = _disk_path(kind, key)
     if path is None or not path.is_file():
         return None
@@ -323,7 +379,7 @@ def _disk_read(kind: str, key: str) -> list[Any] | None:
     return data.get("payload")
 
 
-def _disk_write(kind: str, key: str, payload: list[Any]) -> None:
+def _disk_write(kind: str, key: str, payload: Any) -> None:
     path = _disk_path(kind, key)
     if path is None:
         return
@@ -377,6 +433,29 @@ def _store(
         _disk_write(kind, key, [encode(v) for v in frozen])
 
 
+def _fetch_json(lru: _LRUCache, kind: str, key: str) -> Any | None:
+    """Generic JSON-payload fetch (LRU stores the serialized form, so every
+    hit hands back a fresh deep copy the caller can mutate freely)."""
+    if not _enabled:
+        return None
+    cached = lru.get(key)
+    if cached is not None:
+        return json.loads(cached)
+    raw = _disk_read(kind, key)
+    if raw is None:
+        return None
+    lru.put(key, json.dumps(raw))
+    return raw
+
+
+def _store_json(lru: _LRUCache, kind: str, key: str, payload: Any) -> None:
+    if not _enabled:
+        return
+    lru.put(key, json.dumps(payload))
+    if cache_dir() is not None:
+        _disk_write(kind, key, payload)
+
+
 def fetch_candidates(key: str) -> list[Candidate] | None:
     """Cached candidate list for *key*, or None on a miss."""
     return _fetch(_LIBRARIES, "library", key, _candidate_from_jsonable)
@@ -395,3 +474,33 @@ def fetch_curve(key: str) -> list[TaskConfiguration] | None:
 def store_curve(key: str, curve: Sequence[TaskConfiguration]) -> None:
     """Memoize a built configuration curve."""
     _store(_CURVES, "curve", key, curve, _configuration_to_jsonable)
+
+
+def fetch_pareto(key: str) -> list[dict[str, Any]] | None:
+    """Cached Pareto curve (``{"value", "cost", "choice"}`` dicts) or None."""
+    return _fetch_json(_PARETO, "pareto", key)
+
+
+def store_pareto(key: str, points: Sequence[dict[str, Any]]) -> None:
+    """Memoize a computed Pareto curve (jsonable point dicts)."""
+    _store_json(_PARETO, "pareto", key, list(points))
+
+
+def fetch_selection(key: str) -> dict[str, Any] | None:
+    """Cached selection result (solver-specific jsonable dict) or None."""
+    return _fetch_json(_SELECTIONS, "selection", key)
+
+
+def store_selection(key: str, payload: dict[str, Any]) -> None:
+    """Memoize a selection-solver result."""
+    _store_json(_SELECTIONS, "selection", key, payload)
+
+
+def fetch_partition(key: str) -> dict[str, Any] | None:
+    """Cached reconfiguration-partition result or None."""
+    return _fetch_json(_PARTITIONS, "partition", key)
+
+
+def store_partition(key: str, payload: dict[str, Any]) -> None:
+    """Memoize a reconfiguration-partition result."""
+    _store_json(_PARTITIONS, "partition", key, payload)

@@ -66,6 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_par.add_argument("--utilization", type=float, default=1.0)
     p_par.add_argument("--workers", type=int, default=None,
                        help="build per-task curves in N parallel processes")
+    p_par.add_argument("--no-cache", action="store_true",
+                       default=argparse.SUPPRESS,
+                       help="disable the artifact cache for this run")
 
     p_exp = sub.add_parser("explain", help="sensitivity analysis of a task set")
     p_exp.add_argument("benchmarks", nargs="+")
@@ -80,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--input", help="hot-loops JSON (default: JPEG case study)")
     p_rec.add_argument("--max-area", type=float, default=None)
     p_rec.add_argument("--rho", type=float, default=None)
+    p_rec.add_argument("--workers", type=int, default=None,
+                       help="evaluate per-k partitions in N parallel processes")
+    p_rec.add_argument("--no-cache", action="store_true",
+                       default=argparse.SUPPRESS,
+                       help="disable the artifact cache for this run")
 
     return parser
 
@@ -238,7 +246,7 @@ def _cmd_reconfig(args: argparse.Namespace) -> int:
         loops, trace = jpeg_loops(), jpeg_trace()
         max_area = args.max_area if args.max_area is not None else JPEG_MAX_AREA
         rho = args.rho if args.rho is not None else JPEG_RHO
-    it = iterative_partition(loops, trace, max_area, rho)
+    it = iterative_partition(loops, trace, max_area, rho, workers=args.workers)
     gr = greedy_partition(loops, trace, max_area, rho)
     print(format_table(
         ["algorithm", "net gain", "configurations"],

@@ -22,6 +22,7 @@ from math import gcd
 
 import numpy as np
 
+from repro import cache
 from repro.errors import ScheduleError
 from repro.rtsched.task import TaskSet
 
@@ -65,6 +66,8 @@ def select_edf(
     area_budget: float,
     scale: int = 100,
     max_steps: int = 4000,
+    engine: str = "vector",
+    use_cache: bool = True,
 ) -> EdfSelection:
     """Select per-task configurations minimizing utilization under EDF.
 
@@ -74,6 +77,13 @@ def select_edf(
         scale: fixed-point scale used to quantize fractional areas.
         max_steps: upper bound on the DP table width (coarser quantization
             is used beyond it; areas round up, so the budget holds).
+        engine: ``"vector"`` (default) stacks all candidate rows of a task
+            and takes one argmin; ``"reference"`` runs the original
+            per-configuration masked-update loop.  Results are identical:
+            the float additions match and argmin's first-occurrence rule
+            reproduces the strict-less update's earliest-index tie-break.
+        use_cache: memoize the result behind a content key (task-set digest
+            + budget + quantization parameters) in :mod:`repro.cache`.
 
     Returns:
         The optimal (up to area quantization) :class:`EdfSelection`.
@@ -83,6 +93,25 @@ def select_edf(
     """
     if area_budget < 0:
         raise ScheduleError("area budget must be non-negative")
+    if engine not in ("vector", "reference"):
+        raise ScheduleError(f"unknown engine {engine!r}; use 'vector' or 'reference'")
+    key = None
+    if use_cache:
+        key = cache.artifact_key(
+            cache.taskset_digest(task_set),
+            kind="select_edf",
+            budget=area_budget,
+            scale=scale,
+            max_steps=max_steps,
+            engine=engine,
+        )
+        cached = cache.fetch_selection(key)
+        if cached is not None:
+            return EdfSelection(
+                utilization=cached["utilization"],
+                assignment=tuple(cached["assignment"]),
+                area=cached["area"],
+            )
     tasks = task_set.tasks
     all_areas = [c.area for t in tasks for c in t.configurations]
     q = _quantum(all_areas, max(area_budget, 1e-9), scale, max_steps)
@@ -96,24 +125,33 @@ def select_edf(
     best = np.zeros(cap + 1)
     picks: list[np.ndarray] = []
     for task in tasks:
-        new = np.full(cap + 1, inf)
-        pick = np.zeros(cap + 1, dtype=np.int32)
-        feasible_any = False
-        for j, cfg in enumerate(task.configurations):
-            w = steps(cfg.area)
-            if w > cap:
-                continue
-            feasible_any = True
-            u = cfg.cycles / task.period
-            cand = np.full(cap + 1, inf)
-            cand[w:] = best[: cap + 1 - w] + u
-            better = cand < new
-            new[better] = cand[better]
-            pick[better] = j
-        if not feasible_any:
+        feasible = [
+            (j, steps(cfg.area), cfg.cycles / task.period)
+            for j, cfg in enumerate(task.configurations)
+            if steps(cfg.area) <= cap
+        ]
+        if not feasible:
             raise ScheduleError(
                 f"task {task.name!r} has no configuration fitting the budget"
             )
+        if engine == "vector":
+            rows = np.full((len(feasible), cap + 1), inf)
+            for row, (_j, w, u) in enumerate(feasible):
+                rows[row, w:] = best[: cap + 1 - w] + u
+            winners = rows.argmin(axis=0)  # first occurrence = smallest j
+            new = rows[winners, np.arange(cap + 1)]
+            pick = np.asarray([j for j, _w, _u in feasible], dtype=np.int32)[
+                winners
+            ]
+        else:
+            new = np.full(cap + 1, inf)
+            pick = np.zeros(cap + 1, dtype=np.int32)
+            for j, w, u in feasible:
+                cand = np.full(cap + 1, inf)
+                cand[w:] = best[: cap + 1 - w] + u
+                better = cand < new
+                new[better] = cand[better]
+                pick[better] = j
         best = new
         picks.append(pick)
 
@@ -125,4 +163,14 @@ def select_edf(
         a -= steps(tasks[i].configurations[j].area)
     util = task_set.utilization_for(assignment)
     area = task_set.area_for(assignment)
-    return EdfSelection(utilization=util, assignment=tuple(assignment), area=area)
+    result = EdfSelection(utilization=util, assignment=tuple(assignment), area=area)
+    if key is not None:
+        cache.store_selection(
+            key,
+            {
+                "utilization": result.utilization,
+                "assignment": list(result.assignment),
+                "area": result.area,
+            },
+        )
+    return result

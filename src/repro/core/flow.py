@@ -20,6 +20,7 @@ from repro.core.rms_select import RmsSelection, select_rms
 from repro.enumeration.library import build_candidate_library
 from repro.errors import ScheduleError
 from repro.graphs.program import Program
+from repro.parallel import parallel_map
 from repro.rtsched.task import PeriodicTask, TaskSet, scale_periods_for_utilization
 from repro.selection.config_curve import (
     build_configuration_curve,
@@ -138,20 +139,13 @@ def build_tasks(
             over a :class:`~concurrent.futures.ProcessPoolExecutor` with
             that many processes (default: serial).  Results are returned in
             program order either way; if the pool cannot be created (e.g.
-            a sandbox without process support) the build silently falls
-            back to serial.
+            a sandbox without process support) the build falls back to
+            serial and logs a one-shot warning naming the exception (see
+            :func:`repro.parallel.parallel_map`).
         **task_kwargs: forwarded to :func:`build_task`.
     """
-    if workers is not None and workers > 1 and len(programs) > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        jobs = [(p, task_kwargs) for p in programs]
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(_build_task_job, jobs))
-        except (OSError, PermissionError):
-            pass
-    return [build_task(p, **task_kwargs) for p in programs]
+    jobs = [(p, task_kwargs) for p in programs]
+    return parallel_map(_build_task_job, jobs, workers, label="task builds")
 
 
 def build_task_set(

@@ -18,8 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro import cache
 from repro.errors import ScheduleError
-from repro.rtsched.rms import rms_task_load
+from repro.rtsched.rms import rms_points, rms_task_load
 from repro.rtsched.task import TaskSet
 
 __all__ = ["RmsSelection", "select_rms"]
@@ -50,12 +53,26 @@ class RmsSelection:
         return self.assignment is not None
 
 
-def select_rms(task_set: TaskSet, area_budget: float) -> RmsSelection:
+def select_rms(
+    task_set: TaskSet,
+    area_budget: float,
+    engine: str = "fast",
+    use_cache: bool = True,
+) -> RmsSelection:
     """Select per-task configurations minimizing utilization under RMS.
 
     Args:
         task_set: tasks with configuration curves.
         area_budget: total CFU area constraint.
+        engine: ``"fast"`` (default) precomputes the schedulability-point
+            sets ``S_{i-1}(P_i)`` — they depend only on the periods — and
+            evaluates each node's exact test as one vectorized demand
+            product; ``"reference"`` calls the recursive scalar
+            :func:`rms_task_load` at every node.  Both explore the
+            identical search tree (same ``nodes_visited``) and return the
+            identical assignment.
+        use_cache: memoize the result behind a content key (task-set digest
+            + budget) in :mod:`repro.cache`.
 
     Returns:
         The optimal :class:`RmsSelection` (exact; schedulability is checked
@@ -63,11 +80,54 @@ def select_rms(task_set: TaskSet, area_budget: float) -> RmsSelection:
     """
     if area_budget < 0:
         raise ScheduleError("area budget must be non-negative")
+    if engine not in ("fast", "reference"):
+        raise ScheduleError(f"unknown engine {engine!r}; use 'fast' or 'reference'")
+    key = None
+    if use_cache:
+        key = cache.artifact_key(
+            cache.taskset_digest(task_set),
+            kind="select_rms",
+            budget=area_budget,
+            engine=engine,
+        )
+        cached = cache.fetch_selection(key)
+        if cached is not None:
+            return RmsSelection(
+                utilization=(
+                    float("inf")
+                    if cached["utilization"] is None
+                    else cached["utilization"]
+                ),
+                assignment=(
+                    None
+                    if cached["assignment"] is None
+                    else tuple(cached["assignment"])
+                ),
+                area=cached["area"],
+                nodes_visited=cached["nodes_visited"],
+            )
     # Priority order: increasing period.
     order = sorted(range(len(task_set)), key=lambda i: task_set[i].period)
     tasks = [task_set[i] for i in order]
     n = len(tasks)
     periods = [t.period for t in tasks]
+
+    # Fast engine: the point sets S_{i-1}(P_i) depend only on the periods,
+    # so hoist them out of the search.  L_i is then min over points t of
+    # ceil(t/P_j - EPS) C_j summed for j <= i — one precomputed ceil matrix
+    # row-dotted with the chosen costs (numpy sums short rows sequentially,
+    # so the floats match the scalar loop exactly; the min over a point
+    # *set* is order-independent).
+    load_tables: list[tuple[np.ndarray, np.ndarray]] = []
+    if engine == "fast":
+        for i in range(n):
+            pts = np.asarray(
+                [t for t in rms_points(periods, i, periods[i]) if t > EPS]
+            )
+            ceils = np.ceil(
+                pts[:, None] / np.asarray(periods[: i + 1])[None, :] - EPS
+            )
+            load_tables.append((pts, ceils))
 
     # Per task: configurations sorted by increasing execution time, and the
     # minimum achievable utilization (for the lower bound).
@@ -86,8 +146,16 @@ def select_rms(task_set: TaskSet, area_budget: float) -> RmsSelection:
     incumbent_util = float("inf")
     incumbent: list[int] | None = None
     costs = [0.0] * n  # chosen execution times along the current path
+    costs_arr = np.zeros(n)
     path = [0] * n
     visited = 0
+
+    def task_load(i: int) -> float:
+        if engine == "fast":
+            pts, ceils = load_tables[i]
+            demands = (ceils * costs_arr[: i + 1]).sum(axis=1)
+            return float((demands / pts).min())
+        return rms_task_load(periods, costs, i)
 
     def search(i: int, util: float, area_left: float) -> None:
         nonlocal incumbent_util, incumbent, visited
@@ -96,8 +164,9 @@ def select_rms(task_set: TaskSet, area_budget: float) -> RmsSelection:
             if area > area_left + EPS:
                 continue
             costs[i] = cycles
+            costs_arr[i] = cycles
             # Exact schedulability of task i given higher-priority choices.
-            if rms_task_load(periods, costs, i) > 1.0 + EPS:
+            if task_load(i) > 1.0 + EPS:
                 # Configurations are in increasing execution time: if the
                 # fastest remaining ones fail, slower ones fail too - but
                 # the list is sorted ascending, so later entries are slower;
@@ -115,22 +184,39 @@ def select_rms(task_set: TaskSet, area_budget: float) -> RmsSelection:
             path[i] = j
             search(i + 1, new_util, area_left - area)
         costs[i] = 0.0
+        costs_arr[i] = 0.0
 
     search(0, 0.0, area_budget)
 
     if incumbent is None:
-        return RmsSelection(
+        result = RmsSelection(
             utilization=float("inf"), assignment=None, area=0.0, nodes_visited=visited
         )
-    # Map the priority-ordered assignment back to the input task order.
-    assignment = [0] * n
-    for pos, orig in enumerate(order):
-        assignment[orig] = incumbent[pos]
-    util = task_set.utilization_for(assignment)
-    area = task_set.area_for(assignment)
-    return RmsSelection(
-        utilization=util,
-        assignment=tuple(assignment),
-        area=area,
-        nodes_visited=visited,
-    )
+    else:
+        # Map the priority-ordered assignment back to the input task order.
+        assignment = [0] * n
+        for pos, orig in enumerate(order):
+            assignment[orig] = incumbent[pos]
+        util = task_set.utilization_for(assignment)
+        area = task_set.area_for(assignment)
+        result = RmsSelection(
+            utilization=util,
+            assignment=tuple(assignment),
+            area=area,
+            nodes_visited=visited,
+        )
+    if key is not None:
+        cache.store_selection(
+            key,
+            {
+                "utilization": (
+                    None if incumbent is None else result.utilization
+                ),
+                "assignment": (
+                    None if result.assignment is None else list(result.assignment)
+                ),
+                "area": result.area,
+                "nodes_visited": result.nodes_visited,
+            },
+        )
+    return result

@@ -1,0 +1,75 @@
+"""Shared process-pool fan-out with an explicit serial fallback.
+
+Both the identification flow (:func:`repro.core.flow.build_tasks`) and the
+reconfiguration searches fan independent jobs out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Sandboxed environments
+(CI runners, seccomp jails) often forbid spawning processes; in that case
+the work must still complete, just serially — but silently ignoring the
+user's ``--workers`` request makes perf investigations confusing, so the
+degradation is logged once per process, naming the swallowed exception.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any, TypeVar
+
+__all__ = ["parallel_map"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+logger = logging.getLogger("repro.parallel")
+
+_warned = False
+_warn_lock = threading.Lock()
+
+
+def _warn_once(exc: BaseException, label: str) -> None:
+    global _warned
+    with _warn_lock:
+        if _warned:
+            return
+        _warned = True
+    logger.warning(
+        "process pool unavailable (%s: %s); running %s serially — "
+        "the requested --workers fan-out is ignored",
+        type(exc).__name__,
+        exc,
+        label,
+    )
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    jobs: Iterable[_T],
+    workers: int | None,
+    label: str = "jobs",
+) -> list[_R]:
+    """Map a picklable *fn* over *jobs*, optionally across processes.
+
+    Args:
+        fn: module-level (picklable) worker function.
+        jobs: job inputs; results come back in job order.
+        workers: with > 1 and more than one job, fan out over that many
+            processes; otherwise run serially.  If the pool cannot be
+            created or used (``OSError``/``PermissionError``, e.g. a
+            sandbox without process support) the map degrades to serial
+            and a one-shot warning names the swallowed exception.
+        label: what the jobs are, for the degradation warning.
+
+    Returns:
+        ``[fn(j) for j in jobs]``.
+    """
+    job_list: Sequence[Any] = list(jobs)
+    if workers is not None and workers > 1 and len(job_list) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, job_list))
+        except (OSError, PermissionError) as exc:
+            _warn_once(exc, label)
+    return [fn(j) for j in job_list]

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import cache
 from repro.errors import ReproError
 from repro.pareto.front import ParetoPoint, pareto_filter
 
@@ -96,8 +97,95 @@ def _backtrack(
     return tuple(choice)
 
 
-def exact_utilization_curve(tasks: Sequence[TaskCurve]) -> list[ParetoPoint]:
+def _staircase_keep(costs: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Indices of the strict lower-staircase of ``(cost, value)`` points.
+
+    Sorted by (cost, value); a point survives iff its value is *strictly*
+    below every cheaper-or-equal point's value.  Strict (zero-tolerance)
+    pruning never discards a point the EPS-tolerant ``pareto_filter`` would
+    keep, so running the survivors through ``pareto_filter`` afterwards
+    yields the same frontier the unpruned point set would.
+    """
+    order = np.lexsort((values, costs))
+    v = values[order]
+    prev_min = np.concatenate(([np.inf], np.minimum.accumulate(v)[:-1]))
+    return order[v < prev_min]
+
+
+def _merge_curve(tasks: Sequence[TaskCurve]) -> list[ParetoPoint]:
+    """Frontier-merge engine for the exact utilization-area curve.
+
+    Folds tasks left-to-right, keeping only the undominated partial
+    frontier between merges (dominance pruning), so the point set stays at
+    the size of the final curve instead of the full cost axis of the DP.
+    Utilization accumulates in task order — the same float additions the
+    DP performs — so the resulting curve is bit-identical.
+    """
+    first = tasks[0]
+    front_c = np.asarray(first.areas, dtype=np.int64)
+    front_u = np.asarray(first.utilizations, dtype=float)
+    keep = _staircase_keep(front_c, front_u)
+    front_c, front_u = front_c[keep], front_u[keep]
+    # Backtracking trace: level 0 holds option indices; each later level
+    # holds (parent frontier index, option index) per kept point.
+    trace: list[tuple[np.ndarray, np.ndarray] | np.ndarray] = [keep]
+    for curve in tasks[1:]:
+        opt_c = np.asarray(curve.areas, dtype=np.int64)
+        opt_u = np.asarray(curve.utilizations, dtype=float)
+        k = len(opt_c)
+        flat_c = (front_c[:, None] + opt_c[None, :]).ravel()
+        flat_u = (front_u[:, None] + opt_u[None, :]).ravel()
+        keep = _staircase_keep(flat_c, flat_u)
+        trace.append((keep // k, keep % k))
+        front_c, front_u = flat_c[keep], flat_u[keep]
+
+    n = len(tasks)
+    points = []
+    for idx in range(len(front_c)):
+        choice = [0] * n
+        at = idx
+        for level in range(n - 1, 0, -1):
+            parents, opts = trace[level]
+            choice[level] = int(opts[at])
+            at = int(parents[at])
+        choice[0] = int(trace[0][at])
+        points.append(
+            ParetoPoint(
+                value=float(front_u[idx]),
+                cost=float(front_c[idx]),
+                choice=tuple(choice),
+            )
+        )
+    return pareto_filter(points)
+
+
+def _points_to_jsonable(points: Sequence[ParetoPoint]) -> list[dict]:
+    return [
+        {"value": p.value, "cost": p.cost, "choice": list(p.choice)}
+        for p in points
+    ]
+
+
+def _points_from_jsonable(raw: Sequence[dict]) -> list[ParetoPoint]:
+    return [
+        ParetoPoint(value=d["value"], cost=d["cost"], choice=tuple(d["choice"]))
+        for d in raw
+    ]
+
+
+def exact_utilization_curve(
+    tasks: Sequence[TaskCurve], engine: str = "merge", use_cache: bool = True
+) -> list[ParetoPoint]:
     """The exact utilization-area Pareto curve of a task set.
+
+    Args:
+        tasks: per-task workload-area curves.
+        engine: ``"merge"`` (default) folds per-task frontiers with
+            dominance pruning between merges; ``"reference"`` runs the
+            recursion-(4.2) DP over the full cost axis (the differential
+            oracle).  Both produce bit-identical ``(value, cost)`` curves.
+        use_cache: memoize the curve behind a content key (curve digests +
+            engine) in :mod:`repro.cache`.
 
     Returns:
         Undominated ``(utilization, area)`` points; each point's ``choice``
@@ -105,31 +193,55 @@ def exact_utilization_curve(tasks: Sequence[TaskCurve]) -> list[ParetoPoint]:
     """
     if not tasks:
         raise ReproError("need at least one task curve")
-    costs = [list(t.areas) for t in tasks]
-    cap = sum(max(c) for c in costs)
-    best, picks = _multichoice_dp(tasks, costs, cap)
-    points = []
-    for j in range(cap + 1):
-        if not math.isfinite(best[j]):
-            continue
-        points.append(
-            ParetoPoint(
-                value=float(best[j]),
-                cost=float(j),
-                choice=_backtrack(tasks, costs, picks, j),
-            )
+    if engine not in ("merge", "reference"):
+        raise ReproError(f"unknown engine {engine!r}; use 'merge' or 'reference'")
+    key = None
+    if use_cache:
+        key = cache.artifact_key(
+            cache.curves_digest(tasks), kind="inter_exact", engine=engine
         )
-    return pareto_filter(points)
+        cached = cache.fetch_pareto(key)
+        if cached is not None:
+            return _points_from_jsonable(cached)
+    if engine == "merge":
+        curve = _merge_curve(tasks)
+    else:
+        costs = [list(t.areas) for t in tasks]
+        cap = sum(max(c) for c in costs)
+        best, picks = _multichoice_dp(tasks, costs, cap)
+        points = []
+        for j in range(cap + 1):
+            if not math.isfinite(best[j]):
+                continue
+            points.append(
+                ParetoPoint(
+                    value=float(best[j]),
+                    cost=float(j),
+                    choice=_backtrack(tasks, costs, picks, j),
+                )
+            )
+        curve = pareto_filter(points)
+    if key is not None:
+        cache.store_pareto(key, _points_to_jsonable(curve))
+    return curve
 
 
 def approx_utilization_curve(
-    tasks: Sequence[TaskCurve], eps: float
+    tasks: Sequence[TaskCurve], eps: float, use_cache: bool = True
 ) -> list[ParetoPoint]:
     """ε-approximate utilization-area Pareto curve (Algorithm 3, stage 2)."""
     if eps <= 0:
         raise ReproError("eps must be positive")
     if not tasks:
         raise ReproError("need at least one task curve")
+    key = None
+    if use_cache:
+        key = cache.artifact_key(
+            cache.curves_digest(tasks), kind="inter_approx", eps=eps
+        )
+        cached = cache.fetch_pareto(key)
+        if cached is not None:
+            return _points_from_jsonable(cached)
     eps_prime = math.sqrt(1.0 + eps) - 1.0
     n_options = sum(len(t.areas) for t in tasks)
     total_cost = sum(max(t.areas) for t in tasks)
@@ -175,4 +287,7 @@ def approx_utilization_curve(
     points.append(
         ParetoPoint(value=u_full, cost=float(cost_full), choice=tuple(choice_full))
     )
-    return pareto_filter(points)
+    curve = pareto_filter(points)
+    if key is not None:
+        cache.store_pareto(key, _points_to_jsonable(curve))
+    return curve

@@ -61,18 +61,23 @@ def _best_reduction_by_cost(
 
 
 def exact_workload_curve(
-    base_workload: float, options: Sequence[CIOption]
+    base_workload: float, options: Sequence[CIOption], engine: str = "vector"
 ) -> list[ParetoPoint]:
     """The exact workload-area Pareto curve of one task.
 
     Args:
         base_workload: software workload ``E_i``.
         options: the task's custom-instruction choices.
+        engine: ``"vector"`` (default) extracts the curve's staircase with
+            numpy before materializing points; ``"reference"`` builds one
+            point per cost index (the original path).  Identical output.
 
     Returns:
         Undominated ``(workload, area)`` points, area increasing, starting
         from the pure-software point ``(E_i, 0)``.
     """
+    if engine not in ("vector", "reference"):
+        raise ReproError(f"unknown engine {engine!r}; use 'vector' or 'reference'")
     cap = sum(o.area for o in options)
     if cap == 0 or not options:
         # Zero-cost options are always worth taking.
@@ -81,6 +86,16 @@ def exact_workload_curve(
     best = _best_reduction_by_cost(
         [o.delta for o in options], [o.area for o in options], cap
     )
+    if engine == "vector":
+        # Strict staircase over the (monotone) reduction array: keep the
+        # first cost index of every new maximum.  Strict pruning keeps a
+        # superset of what the EPS-tolerant filter keeps, so the final
+        # pareto_filter pass yields the reference output exactly.
+        values = base_workload - best
+        prev_max = np.concatenate(([-np.inf], np.maximum.accumulate(best)[:-1]))
+        idx = np.flatnonzero(best > prev_max)  # index 0 always survives
+        points = [ParetoPoint(value=float(values[j]), cost=float(j)) for j in idx]
+        return pareto_filter(points)
     points = [
         ParetoPoint(value=base_workload - best[j], cost=float(j))
         for j in range(cap + 1)

@@ -23,10 +23,13 @@ version, larger ``k`` cannot help.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro import cache
 from repro.errors import ReproError
+from repro.parallel import parallel_map
 from repro.reconfig.kwaypart import kway_partition
 from repro.reconfig.model import HotLoop, Partition, net_gain
 from repro.reconfig.rcg import build_rcg
@@ -139,6 +142,95 @@ def _prune_to_software(
         selection[best_i] = 0
 
 
+def _solutions_for_k(
+    loops: Sequence[HotLoop],
+    trace: Sequence[int],
+    max_area: float,
+    rho: float,
+    seed: int,
+    prune: bool,
+    k: int,
+) -> list[PartitionSolution]:
+    """Candidate solutions for one configuration count *k* (phases 1-3).
+
+    Returned in the exact order the serial fold compares them (each base
+    candidate followed by its pruned variant when it differs), so folding
+    the lists for ascending ``k`` reproduces the sequential search.
+    """
+    n = len(loops)
+    # Phase 1: global spatial partitioning over continuous area k*MaxA.
+    selection, _ = spatial_select(loops, k * max_area)
+    hw = [i for i, j in enumerate(selection) if j != 0]
+
+    candidates: list[tuple[list[int], list[int]]] = []
+    # Partition P: selected loops, weights = selected version areas.
+    if hw:
+        rcg = build_rcg(trace, hw)
+        local = {v: i for i, v in enumerate(hw)}
+        edges = {
+            (local[u], local[v]): float(w) for (u, v), w in rcg.items()
+        }
+        weights = [loops[i].versions[selection[i]].area for i in hw]
+        assign = kway_partition(
+            len(hw), edges, weights, k=min(k, len(hw)), seed=seed
+        )
+        config_of = [0] * n
+        for i, part_id in zip(hw, assign):
+            config_of[i] = part_id
+        candidates.append((list(selection), config_of))
+    # Partition P': all loops, unit weights, selection ignored.
+    rcg_all = build_rcg(trace, range(n))
+    assign_all = kway_partition(
+        n, {k2: float(v) for k2, v in rcg_all.items()}, None, k=k, seed=seed
+    )
+    candidates.append(([0] * n, list(assign_all)))
+
+    solutions: list[PartitionSolution] = []
+    for base_selection, config_of in candidates:
+        final_selection = list(base_selection)
+        parts: dict[int, list[int]] = {}
+        pool = (
+            [i for i in range(n) if base_selection[i] != 0]
+            if any(base_selection)
+            else range(n)
+        )
+        for i in pool:
+            parts.setdefault(config_of[i], []).append(i)
+        # Phase 3: local spatial partitioning per configuration.
+        for members in parts.values():
+            _local_spatial(loops, members, final_selection, max_area)
+        solutions.append(_evaluate(loops, final_selection, config_of, trace, rho))
+        if not prune:
+            continue
+        # Post-pass: demote loops whose reconfiguration cost outweighs
+        # their gain (keeps whichever variant evaluates better).
+        pruned_selection = list(final_selection)
+        _prune_to_software(loops, pruned_selection, config_of, trace, rho)
+        if pruned_selection != final_selection:
+            solutions.append(
+                _evaluate(loops, pruned_selection, config_of, trace, rho)
+            )
+    return solutions
+
+
+def _k_job(
+    args: tuple[tuple[HotLoop, ...], tuple[int, ...], float, float, int, bool, int],
+) -> list[PartitionSolution]:
+    """Module-level worker so per-k jobs can be pickled."""
+    loops, trace, max_area, rho, seed, prune, k = args
+    return _solutions_for_k(loops, trace, max_area, rho, seed, prune, k)
+
+
+def _loops_digest(loops: Sequence[HotLoop], trace: Sequence[int]) -> str:
+    payload = repr(
+        (
+            tuple(tuple((v.area, v.gain) for v in lp.versions) for lp in loops),
+            tuple(trace),
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 def iterative_partition(
     loops: Sequence[HotLoop],
     trace: Sequence[int],
@@ -147,6 +239,8 @@ def iterative_partition(
     seed: int = 0,
     max_k: int | None = None,
     prune: bool = True,
+    workers: int | None = None,
+    use_cache: bool = True,
 ) -> PartitionSolution:
     """Run Algorithm 6 and return the best solution found.
 
@@ -160,6 +254,12 @@ def iterative_partition(
             (defaults to the loop count).
         prune: run the software-demotion post-pass on each candidate
             solution (ablation switch; True in normal use).
+        workers: with > 1, evaluate the per-k candidate solutions in that
+            many parallel processes; the sequential ascending-k fold (and
+            its early exits) is applied to the results afterwards, so the
+            returned solution is identical to the serial search.
+        use_cache: memoize the result behind a content key (loops + trace
+            digest + parameters) in :mod:`repro.cache`.
 
     Returns:
         The best :class:`PartitionSolution`.
@@ -167,65 +267,47 @@ def iterative_partition(
     n = len(loops)
     if n == 0:
         raise ReproError("need at least one hot loop")
+    key = None
+    if use_cache:
+        key = cache.artifact_key(
+            _loops_digest(loops, trace),
+            kind="iterative_partition",
+            max_area=max_area,
+            rho=rho,
+            seed=seed,
+            max_k=max_k,
+            prune=prune,
+        )
+        cached = cache.fetch_partition(key)
+        if cached is not None:
+            return PartitionSolution(
+                partition=Partition(
+                    selection=tuple(cached["selection"]),
+                    config_of=tuple(cached["config_of"]),
+                ),
+                gain=cached["gain"],
+                n_configurations=cached["n_configurations"],
+            )
     loops = _cap_versions(loops, max_area)
     limit = min(n, max_k) if max_k is not None else n
 
+    jobs = [
+        (tuple(loops), tuple(trace), max_area, rho, seed, prune, k)
+        for k in range(1, limit + 1)
+    ]
+    if workers is not None and workers > 1 and limit > 1:
+        per_k = parallel_map(_k_job, jobs, workers, label="partition candidates")
+    else:
+        # Lazy generator: the serial path keeps skipping the k values the
+        # early exits below would never have computed.
+        per_k = (_k_job(j) for j in jobs)
+
     best: PartitionSolution | None = None
     best_total_gain = sum(lp.versions[lp.best_version].gain for lp in loops)
-    for k in range(1, limit + 1):
-        # Phase 1: global spatial partitioning over continuous area k*MaxA.
-        selection, _ = spatial_select(loops, k * max_area)
-        hw = [i for i, j in enumerate(selection) if j != 0]
-
-        candidates: list[tuple[list[int], list[int]]] = []
-        # Partition P: selected loops, weights = selected version areas.
-        if hw:
-            rcg = build_rcg(trace, hw)
-            local = {v: i for i, v in enumerate(hw)}
-            edges = {
-                (local[u], local[v]): float(w) for (u, v), w in rcg.items()
-            }
-            weights = [loops[i].versions[selection[i]].area for i in hw]
-            assign = kway_partition(
-                len(hw), edges, weights, k=min(k, len(hw)), seed=seed
-            )
-            config_of = [0] * n
-            for i, part_id in zip(hw, assign):
-                config_of[i] = part_id
-            candidates.append((list(selection), config_of))
-        # Partition P': all loops, unit weights, selection ignored.
-        rcg_all = build_rcg(trace, range(n))
-        assign_all = kway_partition(
-            n, {k2: float(v) for k2, v in rcg_all.items()}, None, k=k, seed=seed
-        )
-        candidates.append(([0] * n, list(assign_all)))
-
-        for base_selection, config_of in candidates:
-            final_selection = list(base_selection)
-            parts: dict[int, list[int]] = {}
-            pool = (
-                [i for i in range(n) if base_selection[i] != 0]
-                if any(base_selection)
-                else range(n)
-            )
-            for i in pool:
-                parts.setdefault(config_of[i], []).append(i)
-            # Phase 3: local spatial partitioning per configuration.
-            for members in parts.values():
-                _local_spatial(loops, members, final_selection, max_area)
-            sol = _evaluate(loops, final_selection, config_of, trace, rho)
+    for solutions in per_k:
+        for sol in solutions:
             if best is None or sol.gain > best.gain:
                 best = sol
-            if not prune:
-                continue
-            # Post-pass: demote loops whose reconfiguration cost outweighs
-            # their gain (keeps whichever variant evaluates better).
-            pruned_selection = list(final_selection)
-            _prune_to_software(loops, pruned_selection, config_of, trace, rho)
-            if pruned_selection != final_selection:
-                pruned = _evaluate(loops, pruned_selection, config_of, trace, rho)
-                if pruned.gain > best.gain:
-                    best = pruned
         # Early exit: every loop already at its best version.
         if best is not None and all(
             best.partition.selection[i] == loops[i].best_version
@@ -235,4 +317,14 @@ def iterative_partition(
         if best is not None and best.gain >= best_total_gain:
             break
     assert best is not None
+    if key is not None:
+        cache.store_partition(
+            key,
+            {
+                "selection": list(best.partition.selection),
+                "config_of": list(best.partition.config_of),
+                "gain": best.gain,
+                "n_configurations": best.n_configurations,
+            },
+        )
     return best

@@ -5,6 +5,17 @@ of periodic tasks are released every period, run under preemptive EDF or
 fixed-priority rate-monotonic scheduling, and deadline misses are recorded.
 Simulating one hyperperiod starting from the synchronous release (the
 critical instant) is exact for both policies with deadline = period.
+
+Two engines share the semantics:
+
+* ``engine="event"`` (default) — event-compressed: idle spans jump straight
+  to the next release, simultaneous releases are batched, and the running
+  job executes in a single span up to its completion or the first
+  *preempting* release (computed analytically from the period structure)
+  instead of being re-queued at every release.  ``stop_on_first_miss=True``
+  additionally abandons the horizon at the first recorded deadline miss.
+* ``engine="reference"`` — the original release-by-release simulator, kept
+  as a differential oracle (see ``tests/test_simulator_properties.py``).
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ from repro.rtsched.task import TaskSet
 __all__ = ["SimulationResult", "simulate", "simulate_taskset"]
 
 EPS = 1e-9
+_INF = float("inf")
 
 
 @dataclass
@@ -55,11 +67,22 @@ class _Job:
     remaining: float = field(compare=False)
 
 
+def _default_horizon(periods: Sequence[float]) -> float:
+    if all(abs(p - round(p)) < EPS for p in periods):
+        h = 1
+        for p in periods:
+            h = math.lcm(h, max(1, round(p)))
+        return float(h)
+    return 20.0 * max(periods)
+
+
 def simulate(
     periods: Sequence[float],
     costs: Sequence[float],
     policy: str = "edf",
     horizon: float | None = None,
+    engine: str = "event",
+    stop_on_first_miss: bool = False,
 ) -> SimulationResult:
     """Simulate periodic tasks under EDF or RM.
 
@@ -70,6 +93,11 @@ def simulate(
             shortest-period priority).
         horizon: simulated span; defaults to the hyperperiod for integral
             periods, otherwise ``20 x max period``.
+        engine: ``"event"`` (compressed; default) or ``"reference"`` (the
+            original release-by-release oracle).
+        stop_on_first_miss: abandon the horizon at the first recorded miss
+            (the result then carries that single miss and ``horizon`` is
+            the simulated span up to it).
 
     Returns:
         A :class:`SimulationResult`.
@@ -79,14 +107,170 @@ def simulate(
         raise ScheduleError("periods and costs must be non-empty and aligned")
     if policy not in ("edf", "rm"):
         raise ScheduleError(f"unknown policy {policy!r}; use 'edf' or 'rm'")
+    if engine not in ("event", "reference"):
+        raise ScheduleError(f"unknown engine {engine!r}; use 'event' or 'reference'")
     if horizon is None:
-        if all(abs(p - round(p)) < EPS for p in periods):
-            h = 1
-            for p in periods:
-                h = math.lcm(h, max(1, round(p)))
-            horizon = float(h)
+        horizon = _default_horizon(periods)
+    if engine == "reference":
+        return _simulate_reference(periods, costs, policy, horizon, stop_on_first_miss)
+    return _simulate_event(periods, costs, policy, horizon, stop_on_first_miss)
+
+
+def _simulate_event(
+    periods: Sequence[float],
+    costs: Sequence[float],
+    policy: str,
+    horizon: float,
+    stop_on_first_miss: bool,
+) -> SimulationResult:
+    """Event-compressed engine: the running job advances in one span to its
+    completion or the first preempting release; idle gaps jump to the next
+    release; simultaneous releases enter the queue in one batch."""
+    n = len(periods)
+    edf = policy == "edf"
+    rm_rank = [0] * n
+    by_rank: list[int] = sorted(range(n), key=lambda i: periods[i])
+    if not edf:
+        for r, task in enumerate(by_rank):
+            rm_rank[task] = r
+
+    push = heapq.heappush
+    pop = heapq.heappop
+    # Heap entries are plain tuples (key..., release, remaining); the key
+    # prefix reproduces the reference priority order exactly.
+    ready: list[tuple] = []
+    # Pending-release min-heap (release, task): O(1) next-release queries
+    # so completion events that coincide with no release skip the task scan.
+    next_release = [0.0] * n
+    release_cap = horizon - EPS
+    rel_heap: list[tuple[float, int]] = (
+        [(0.0, i) for i in range(n)] if release_cap > 0 else []
+    )
+    time = 0.0
+    busy = 0.0
+    missed: list[tuple[int, float]] = []
+    max_response = [0.0] * n
+
+    def push_due(now: float) -> None:
+        bound = now + EPS
+        while rel_heap and rel_heap[0][0] <= bound:
+            r, i = pop(rel_heap)
+            p = periods[i]
+            if edf:
+                push(ready, (r + p, i, r, costs[i]))
+            else:
+                push(ready, (rm_rank[i], r + p, i, r, costs[i]))
+            r += p
+            next_release[i] = r
+            if r < release_cap:
+                push(rel_heap, (r, i))
+
+    push_due(0.0)
+    while time < horizon - EPS:
+        if not ready:
+            # Idle: skip straight to the next release (or the horizon).
+            if not rel_heap:
+                time = horizon
+                break
+            time = min(rel_heap[0][0], horizon)
+            push_due(time)
+            continue
+        job = pop(ready)
+        if edf:
+            deadline, task, release, remaining = job
         else:
-            horizon = 20.0 * max(periods)
+            _rank, deadline, task, release, remaining = job
+        finish = time + remaining
+        # Earliest release that preempts this job.  Under RM only a
+        # higher-rank task preempts; under EDF a release at r preempts iff
+        # its deadline tuple (r + P_i, i) precedes the running job's.
+        t_pre = _INF
+        if rel_heap and rel_heap[0][0] < finish:
+            if edf:
+                for i in range(n):
+                    r = next_release[i]
+                    if r >= finish or r >= release_cap or r >= t_pre:
+                        continue
+                    d_new = r + periods[i]
+                    if d_new < deadline or (d_new == deadline and i < task):
+                        t_pre = r
+            else:
+                # Only strictly higher-rank tasks preempt; scan rank order.
+                for rank in range(_rank):
+                    r = next_release[by_rank[rank]]
+                    if r < t_pre and r < release_cap:
+                        t_pre = r
+        if t_pre < finish:
+            # Preempted: bank the span, requeue the remainder, take the batch.
+            run = t_pre - time
+            busy += run
+            time = t_pre
+            if edf:
+                push(ready, (deadline, task, release, remaining - run))
+            else:
+                push(ready, (_rank, deadline, task, release, remaining - run))
+            push_due(time)
+            continue
+        if finish > horizon:
+            # The horizon cuts the span; the job stays pending for the
+            # end-of-horizon miss accounting below.
+            run = horizon - time
+            busy += run
+            time = horizon
+            if edf:
+                push(ready, (deadline, task, release, remaining - run))
+            else:
+                push(ready, (_rank, deadline, task, release, remaining - run))
+            break
+        busy += remaining
+        time = finish
+        response = time - release
+        if response > max_response[task]:
+            max_response[task] = response
+        if time > deadline + EPS:
+            missed.append((task, release))
+            if stop_on_first_miss:
+                missed.sort()
+                return SimulationResult(
+                    schedulable=False,
+                    missed=missed,
+                    busy_time=busy,
+                    horizon=time,
+                    max_response=max_response,
+                )
+        if rel_heap and rel_heap[0][0] <= time + EPS:
+            push_due(time)
+
+    # Jobs released during the final running span were never queued; flush
+    # them so the end-of-horizon accounting sees every released job.
+    push_due(horizon)
+    # Unfinished jobs whose deadline lies within the horizon are misses.
+    for job in ready:
+        remaining = job[-1]
+        deadline = job[0] if edf else job[1]
+        task = job[1] if edf else job[2]
+        release = job[-2]
+        if remaining > EPS and deadline <= horizon + EPS:
+            missed.append((task, release))
+    missed.sort()
+    return SimulationResult(
+        schedulable=not missed,
+        missed=missed,
+        busy_time=busy,
+        horizon=horizon,
+        max_response=max_response,
+    )
+
+
+def _simulate_reference(
+    periods: Sequence[float],
+    costs: Sequence[float],
+    policy: str,
+    horizon: float,
+    stop_on_first_miss: bool = False,
+) -> SimulationResult:
+    """The original release-by-release simulator (differential oracle)."""
+    n = len(periods)
 
     # Static RM priorities: shorter period = higher priority (lower number).
     rm_priority = sorted(range(n), key=lambda i: periods[i])
@@ -149,6 +333,15 @@ def simulate(
             )
             if time > job.deadline + EPS:
                 missed.append((job.task, job.release))
+                if stop_on_first_miss:
+                    missed.sort()
+                    return SimulationResult(
+                        schedulable=False,
+                        missed=missed,
+                        busy_time=busy,
+                        horizon=time,
+                        max_response=max_response,
+                    )
         else:
             heapq.heappush(ready, job)
         release_due(time)
@@ -172,6 +365,8 @@ def simulate_taskset(
     assignment: Sequence[int] | None = None,
     policy: str = "edf",
     horizon: float | None = None,
+    engine: str = "event",
+    stop_on_first_miss: bool = False,
 ) -> SimulationResult:
     """Simulate a :class:`TaskSet` under a configuration assignment."""
     tasks = task_set.tasks
@@ -179,4 +374,11 @@ def simulate_taskset(
         costs = [t.wcet for t in tasks]
     else:
         costs = [t.configurations[j].cycles for t, j in zip(tasks, assignment)]
-    return simulate([t.period for t in tasks], costs, policy=policy, horizon=horizon)
+    return simulate(
+        [t.period for t in tasks],
+        costs,
+        policy=policy,
+        horizon=horizon,
+        engine=engine,
+        stop_on_first_miss=stop_on_first_miss,
+    )

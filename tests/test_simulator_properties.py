@@ -1,0 +1,96 @@
+"""Property tests tying the scheduler simulator to the analytic tests.
+
+Simulating one hyperperiod from the synchronous release (the critical
+instant) is exact for preemptive EDF and RM with deadline = period, so on
+randomized integral task sets the simulator verdict must agree with:
+
+* EDF — the utilization bound ``U <= 1`` (exact for implicit deadlines)
+  and the processor-demand test of :mod:`repro.rtsched.dbf`;
+* RM — the exact Bini-Buttazzo point test of :mod:`repro.rtsched.rms` and
+  response-time analysis of :mod:`repro.rtsched.response_time`.
+
+The event-compressed engine is additionally checked against the retained
+release-by-release reference engine field by field.  Workloads stay
+integral so both engines accumulate exactly representable floats.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtsched.dbf import edf_constrained_schedulable
+from repro.rtsched.response_time import rta_schedulable
+from repro.rtsched.rms import rms_schedulable_costs
+from repro.rtsched.simulator import simulate
+
+PERIOD_CHOICES = (2, 3, 4, 5, 6, 8, 10, 12, 15, 20)
+
+
+@st.composite
+def task_sets(draw, max_tasks: int = 5):
+    n = draw(st.integers(min_value=1, max_value=max_tasks))
+    periods = [float(draw(st.sampled_from(PERIOD_CHOICES))) for _ in range(n)]
+    costs = [
+        float(draw(st.integers(min_value=1, max_value=max(1, int(p)))))
+        for p in periods
+    ]
+    return periods, costs
+
+
+def _hyperperiod(periods):
+    h = 1
+    for p in periods:
+        h = math.lcm(h, round(p))
+    return float(h)
+
+
+@settings(max_examples=150, deadline=None)
+@given(task_sets())
+def test_edf_simulation_matches_analysis(ts):
+    periods, costs = ts
+    utilization = sum(c / p for c, p in zip(costs, periods))
+    analytic = utilization <= 1.0 + 1e-9
+    sim = simulate(periods, costs, policy="edf", horizon=_hyperperiod(periods))
+    assert sim.schedulable == analytic
+    # The demand-bound test must agree with the utilization bound here
+    # (implicit deadlines) and hence with the simulator.
+    assert edf_constrained_schedulable(periods, costs) == analytic
+
+
+@settings(max_examples=150, deadline=None)
+@given(task_sets())
+def test_rms_simulation_matches_analysis(ts):
+    periods, costs = ts
+    sim = simulate(periods, costs, policy="rm", horizon=_hyperperiod(periods))
+    assert sim.schedulable == rms_schedulable_costs(periods, costs)
+    assert sim.schedulable == rta_schedulable(periods, costs)
+
+
+@settings(max_examples=150, deadline=None)
+@given(task_sets(), st.sampled_from(["edf", "rm"]))
+def test_event_engine_matches_reference(ts, policy):
+    periods, costs = ts
+    fast = simulate(periods, costs, policy=policy)
+    ref = simulate(periods, costs, policy=policy, engine="reference")
+    assert fast.schedulable == ref.schedulable
+    assert fast.missed == ref.missed
+    assert fast.horizon == ref.horizon
+    assert math.isclose(fast.busy_time, ref.busy_time, abs_tol=1e-6)
+    for a, b in zip(fast.max_response, ref.max_response):
+        assert math.isclose(a, b, abs_tol=1e-6)
+
+
+@settings(max_examples=80, deadline=None)
+@given(task_sets(), st.sampled_from(["edf", "rm"]))
+def test_stop_on_first_miss_consistent(ts, policy):
+    periods, costs = ts
+    full = simulate(periods, costs, policy=policy)
+    quick = simulate(periods, costs, policy=policy, stop_on_first_miss=True)
+    assert quick.schedulable == full.schedulable
+    if not full.schedulable:
+        assert quick.missed
+        assert quick.missed[0] in full.missed
+        assert quick.horizon <= full.horizon + 1e-9
