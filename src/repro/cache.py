@@ -18,13 +18,22 @@ parameters, so they are memoized behind a content key:
 
 The cache stores immutable payloads (tuples of frozen dataclasses) and
 returns them as fresh lists, so callers can mutate their copies freely.
+
+The disk tier is hardened against a hostile filesystem: entries are
+written atomically (unique tempfile + ``os.replace``) and carry a SHA-256
+payload checksum; on load, a corrupt, truncated or checksum-mismatched
+entry is treated as a plain miss — the offending file is quarantined with
+a ``.corrupt`` suffix and a one-shot warning is logged, never an
+exception, never a wrong payload.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
+import tempfile
 import threading
 import weakref
 from collections import OrderedDict
@@ -61,10 +70,47 @@ __all__ = [
 ]
 
 #: Bump when the serialized payload layout changes (stale disk entries with
-#: an older schema are ignored, never misread).
-SCHEMA_VERSION = 1
+#: an older schema are ignored, never misread).  2: entries carry a payload
+#: checksum.
+SCHEMA_VERSION = 2
 
 _ENV_DIR = "REPRO_CACHE_DIR"
+
+logger = logging.getLogger("repro.cache")
+
+_corrupt_warned = False
+_corrupt_lock = threading.Lock()
+
+
+def _warn_corrupt_once(path: Path, reason: str) -> None:
+    global _corrupt_warned
+    with _corrupt_lock:
+        if _corrupt_warned:
+            return
+        _corrupt_warned = True
+    logger.warning(
+        "corrupt cache entry %s (%s); quarantined as *.corrupt and treated "
+        "as a miss (further corrupt entries are handled silently)",
+        path.name,
+        reason,
+    )
+
+
+def _quarantine(path: Path, reason: str) -> None:
+    """Move a corrupt entry aside so it is never re-read, and log once."""
+    try:
+        os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+    except OSError:
+        # Read-only directory: leave the file; reads keep treating it as
+        # a miss, so correctness is unaffected.
+        pass
+    _warn_corrupt_once(path, reason)
+
+
+def _payload_checksum(payload: Any) -> str:
+    """SHA-256 over the canonical JSON rendering of a payload."""
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
 
 
 class _LRUCache:
@@ -156,8 +202,13 @@ def clear(disk: bool = False) -> None:
     if disk:
         d = cache_dir()
         if d is not None and d.is_dir():
-            for f in d.glob("repro-cache-*.json"):
-                f.unlink(missing_ok=True)
+            for pattern in (
+                "repro-cache-*.json",
+                "repro-cache-*.json.corrupt",
+                "repro-cache-*.tmp",
+            ):
+                for f in d.glob(pattern):
+                    f.unlink(missing_ok=True)
 
 
 def cache_info() -> dict[str, dict[str, int]]:
@@ -371,12 +422,35 @@ def _disk_read(kind: str, key: str) -> Any | None:
     if path is None or not path.is_file():
         return None
     try:
-        data = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError):
+        text = path.read_text()
+    except OSError:
         return None
-    if data.get("schema") != SCHEMA_VERSION or data.get("key") != key:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        # Truncated write, bit rot, or a foreign file wearing our name.
+        _quarantine(path, "not valid JSON")
         return None
-    return data.get("payload")
+    if not isinstance(data, dict):
+        _quarantine(path, "entry is not a JSON object")
+        return None
+    if data.get("schema") != SCHEMA_VERSION:
+        # A legitimately stale entry from an older layout: a plain miss
+        # (it will be overwritten by the next store), not corruption.
+        return None
+    if data.get("key") != key:
+        _quarantine(path, "key does not match the file name")
+        return None
+    payload = data.get("payload")
+    try:
+        checksum = _payload_checksum(payload)
+    except (TypeError, ValueError):
+        _quarantine(path, "payload is not canonically serializable")
+        return None
+    if data.get("checksum") != checksum:
+        _quarantine(path, "payload checksum mismatch")
+        return None
+    return payload
 
 
 def _disk_write(kind: str, key: str, payload: Any) -> None:
@@ -385,12 +459,28 @@ def _disk_write(kind: str, key: str, payload: Any) -> None:
         return
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(
-            json.dumps({"schema": SCHEMA_VERSION, "kind": kind, "key": key,
-                        "payload": payload})
+        entry = json.dumps({
+            "schema": SCHEMA_VERSION,
+            "kind": kind,
+            "key": key,
+            "checksum": _payload_checksum(payload),
+            "payload": payload,
+        })
+        # Unique tempfile in the same directory + os.replace: concurrent
+        # writers cannot interleave and readers never observe a torn file.
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=path.parent
         )
-        tmp.replace(path)
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(entry)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
     except OSError:
         # A read-only or full cache directory must never fail the pipeline.
         pass

@@ -10,7 +10,13 @@ Subcommands mirror the library's main flows:
 * ``repro pareto <benchmarks...>`` — Chapter 4 ε-approximate
   utilization-area Pareto curve;
 * ``repro reconfig <loops.json>`` — Chapter 6 partitioning of hot loops
-  (falls back to the JPEG case study without an input file).
+  (falls back to the JPEG case study without an input file);
+* ``repro faults <benchmarks...>`` — fault-injection sweep and
+  degraded-mode (single-CFU-failure) robustness report.
+
+Library errors (:class:`repro.errors.ReproError`) are caught at the top
+level and reported as a one-line message with exit status 2 — a bad input
+never produces a traceback.
 
 Run ``python -m repro --help`` for details.
 """
@@ -22,7 +28,8 @@ import sys
 from collections.abc import Sequence
 
 from repro import io as repro_io
-from repro.report import format_curve, format_table
+from repro.errors import ReproError
+from repro.report import format_curve, format_fault_report, format_table
 
 __all__ = ["main", "build_parser"]
 
@@ -88,6 +95,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--no-cache", action="store_true",
                        default=argparse.SUPPRESS,
                        help="disable the artifact cache for this run")
+
+    p_flt = sub.add_parser(
+        "faults",
+        help="fault-injection sweep + degraded-mode robustness report",
+    )
+    p_flt.add_argument("benchmarks", nargs="*",
+                       help="constituent tasks (default: thesis Table 3.1 "
+                            "task set 1)")
+    p_flt.add_argument("--input", help="load the task set from JSON instead")
+    p_flt.add_argument("--utilization", type=float, default=1.05,
+                       help="software-only utilization target (default 1.05)")
+    p_flt.add_argument("--area", type=float, default=None,
+                       help="CFU area budget (default: half of MaxArea)")
+    p_flt.add_argument("--policy", choices=("edf", "rms", "both"),
+                       default="both")
+    p_flt.add_argument("--seed", type=int, default=0,
+                       help="root seed for the injected fault scenarios")
+    p_flt.add_argument("--overrun-frac", type=float, nargs="*",
+                       default=(0.10, 0.25, 0.50), metavar="FRAC",
+                       help="WCET overrun fractions to sweep")
+    p_flt.add_argument("--overrun-prob", type=float, default=0.25,
+                       help="per-job overrun probability (default 0.25)")
+    p_flt.add_argument("--jitter-frac", type=float, default=0.10,
+                       help="reconfiguration jitter fraction (default 0.10)")
+    p_flt.add_argument("--sim-engine", choices=("event", "reference"),
+                       default="event",
+                       help="simulator engine for the injection runs")
+    p_flt.add_argument("--workers", type=int, default=None,
+                       help="build per-task curves in N parallel processes")
+    p_flt.add_argument("--output",
+                       help="write the robustness report JSON here "
+                            "(BENCH_faults.json style)")
 
     return parser
 
@@ -264,15 +303,53 @@ def _cmd_reconfig(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
-    from repro import cache
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import json
 
-    if args.cache_dir:
-        cache.set_cache_dir(args.cache_dir)
-    if args.no_cache:
-        cache.set_enabled(False)
+    from repro.core import build_task_set
+    from repro.faults import default_scenarios, sweep_faults
+    from repro.workloads import CH3_TASK_SETS, programs_for
+
+    if args.input:
+        task_set = repro_io.task_set_from_dict(repro_io.load_json(args.input))
+    else:
+        names = tuple(args.benchmarks) or CH3_TASK_SETS[1]
+        task_set = build_task_set(
+            programs_for(names),
+            target_utilization=args.utilization,
+            name="+".join(names),
+            workers=args.workers,
+            engine=args.engine,
+        )
+    policies = ("edf", "rms") if args.policy == "both" else (args.policy,)
+    scenarios = default_scenarios(
+        seed=args.seed,
+        overrun_fracs=tuple(args.overrun_frac),
+        overrun_prob=args.overrun_prob,
+        jitter_frac=args.jitter_frac,
+    )
+    report = sweep_faults(
+        task_set,
+        area_budget=args.area,
+        policies=policies,
+        seed=args.seed,
+        scenarios=scenarios,
+        engine=args.sim_engine,
+    )
+    print(format_fault_report(report))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"saved robustness report to {args.output}")
+    robust = all(
+        entry["single_cfu_failure"] is not None
+        and entry["single_cfu_failure"]["robust"]
+        for entry in report["policies"]
+    )
+    return 0 if robust else 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "benchmarks":
         return _cmd_benchmarks()
     if args.command == "curve":
@@ -287,7 +364,30 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_validate(args)
     if args.command == "reconfig":
         return _cmd_reconfig(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    :class:`~repro.errors.ReproError` subclasses become a one-line
+    ``error:`` message on stderr with exit status 2 instead of a
+    traceback — malformed inputs are a user problem, not a crash.
+    """
+    args = build_parser().parse_args(argv)
+    from repro import cache
+
+    if args.cache_dir:
+        cache.set_cache_dir(args.cache_dir)
+    if args.no_cache:
+        cache.set_enabled(False)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -48,6 +48,10 @@ class CustomizationResult:
         assignment: chosen configuration index per task, or None.
         area: consumed CFU area.
         area_budget: the budget the selection ran under.
+        single_fault_robust: True/False when the degraded-mode check ran
+            (``customize(check_single_fault=True)``): does the assignment
+            stay schedulable if any single CFU fails?  None when the check
+            was not requested or no assignment exists.
     """
 
     policy: str
@@ -56,6 +60,7 @@ class CustomizationResult:
     assignment: tuple[int, ...] | None
     area: float
     area_budget: float
+    single_fault_robust: bool | None = None
 
     @property
     def schedulable(self) -> bool:
@@ -169,6 +174,7 @@ def customize(
     task_set: TaskSet,
     area_budget: float,
     policy: str = "edf",
+    check_single_fault: bool = False,
 ) -> CustomizationResult:
     """Run the inter-task selection stage on a prepared task set.
 
@@ -176,6 +182,9 @@ def customize(
         task_set: tasks with configuration curves attached.
         area_budget: total CFU area available.
         policy: ``"edf"`` (Algorithm 1) or ``"rms"`` (Algorithm 2).
+        check_single_fault: additionally run the degraded-mode analysis of
+            :mod:`repro.faults.degraded` on the selected assignment and
+            record whether it survives any single CFU failure.
 
     Returns:
         A :class:`CustomizationResult`.
@@ -183,22 +192,24 @@ def customize(
     u_before = task_set.utilization
     if policy == "edf":
         sel: EdfSelection | RmsSelection = select_edf(task_set, area_budget)
-        return CustomizationResult(
-            policy=policy,
-            utilization_before=u_before,
-            utilization_after=sel.utilization,
-            assignment=sel.assignment,
-            area=sel.area,
-            area_budget=area_budget,
-        )
-    if policy == "rms":
+        area = sel.area
+    elif policy == "rms":
         sel = select_rms(task_set, area_budget)
-        return CustomizationResult(
-            policy=policy,
-            utilization_before=u_before,
-            utilization_after=sel.utilization,
-            assignment=sel.assignment,
-            area=sel.area if sel.assignment is not None else 0.0,
-            area_budget=area_budget,
-        )
-    raise ScheduleError(f"unknown policy {policy!r}; use 'edf' or 'rms'")
+        area = sel.area if sel.assignment is not None else 0.0
+    else:
+        raise ScheduleError(f"unknown policy {policy!r}; use 'edf' or 'rms'")
+    robust: bool | None = None
+    if check_single_fault and sel.assignment is not None:
+        # Imported lazily: repro.faults composes over this module.
+        from repro.faults.degraded import single_fault_report
+
+        robust = single_fault_report(task_set, sel.assignment, policy).robust
+    return CustomizationResult(
+        policy=policy,
+        utilization_before=u_before,
+        utilization_after=sel.utilization,
+        assignment=sel.assignment,
+        area=area,
+        area_budget=area_budget,
+        single_fault_robust=robust,
+    )

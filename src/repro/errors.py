@@ -23,6 +23,10 @@ class ScheduleError(ReproError):
     """A task set or schedule parameterization is invalid."""
 
 
+class FaultError(ReproError):
+    """A fault-injection model or containment policy is malformed."""
+
+
 class SolverError(ReproError):
     """An optimization backend failed to produce a solution."""
 

@@ -1,0 +1,55 @@
+"""Fault injection and degraded-mode schedulability analysis.
+
+The customization flow guarantees every task meets its deadline *assuming*
+the CFU works, jobs respect their customized WCET, and reconfiguration is
+punctual.  This package stress-tests that guarantee:
+
+* :mod:`repro.faults.model` — a declarative, seeded :class:`FaultModel`
+  describing CFU-unavailable faults, WCET overruns and reconfiguration
+  jitter, plus the containment policies the runtime can apply;
+* :mod:`repro.faults.degraded` — analytic degraded-mode schedulability:
+  does the selected configuration survive any single CFU failure?  Cross
+  validated against the fault-injecting simulator;
+* :mod:`repro.faults.sweep` — scenario sweeps over the thesis workloads
+  producing the ``BENCH_faults.json``-style robustness report behind the
+  ``repro faults`` CLI subcommand.
+
+Invariant: injecting an *empty* fault model is bit-identical to not
+injecting at all (asserted by ``tests/test_faults.py``).
+"""
+
+from repro.faults.degraded import (
+    DegradedReport,
+    DegradedVerdict,
+    cross_validate_single_fault,
+    degraded_costs,
+    degraded_schedulable,
+    single_fault_report,
+)
+from repro.faults.model import (
+    CONTAINMENT_POLICIES,
+    FaultModel,
+    JobFault,
+)
+from repro.faults.sweep import (
+    FaultScenario,
+    default_scenarios,
+    format_fault_report,
+    sweep_faults,
+)
+
+__all__ = [
+    "CONTAINMENT_POLICIES",
+    "DegradedReport",
+    "DegradedVerdict",
+    "FaultModel",
+    "FaultScenario",
+    "JobFault",
+    "cross_validate_single_fault",
+    "default_scenarios",
+    "degraded_costs",
+    "degraded_schedulable",
+    "format_fault_report",
+    "single_fault_report",
+    "sweep_faults",
+]

@@ -1,0 +1,191 @@
+"""Declarative, seeded fault model for the scheduling runtime.
+
+A :class:`FaultModel` describes *which* adverse events hit a task set and
+*how hard*, without prescribing what the scheduler does about them — that
+is the containment policy's job (``abort-job`` / ``run-to-completion`` /
+``fallback-to-base``, applied by :mod:`repro.rtsched.simulator`).
+
+Three fault classes from thesis Chapters 3 and 7 are modeled:
+
+* **CFU-unavailable** (``cfu_failed``): the custom functional unit backing a
+  task's selected configuration is faulted out, so its jobs execute on the
+  base ISA at the software cost (configuration 0 of the task's curve).
+* **WCET overrun** (``overrun_prob`` / ``overrun_frac``): a job runs a
+  fraction past its analyzed budget — a mis-characterized custom
+  instruction, a cache outlier, an input outside the profiling set.
+* **Reconfiguration jitter** (``jitter_frac``): the reconfiguration
+  controller hands the CFU over late, delaying the job by up to that
+  fraction of its budget.
+
+Determinism: every per-job draw is a pure function of ``(seed, task,
+job_index)`` through BLAKE2b, so a scenario replays identically across
+runs, platforms and engines — a prerequisite for differential testing of
+the two simulator engines under injection.
+
+The **empty model** (no failed CFUs, zero overrun and jitter) is inert by
+construction: :meth:`FaultModel.job_fault` returns the nominal cost object
+untouched, so injected simulation is bit-identical to plain simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import FaultError
+
+__all__ = ["CONTAINMENT_POLICIES", "FaultModel", "JobFault"]
+
+#: Containment policies understood by the simulator (see
+#: :func:`repro.rtsched.simulator.simulate`).
+CONTAINMENT_POLICIES = ("run-to-completion", "abort-job", "fallback-to-base")
+
+
+@dataclass(frozen=True)
+class JobFault:
+    """Resolved fault effect on one job.
+
+    Attributes:
+        demand: processor time the job tries to consume (before any
+            containment cap).
+        budget: the cost schedulability analysis charged for this job — the
+            nominal assignment cost, or the base-ISA cost when the task's
+            CFU is failed (the analysis of the degraded mode).
+        cfu_failed: the job ran on the base ISA because its CFU is out.
+        overrun: the job drew a WCET overrun.
+        jitter: reconfiguration delay added to the demand (0.0 if none).
+    """
+
+    demand: float
+    budget: float
+    cfu_failed: bool = False
+    overrun: bool = False
+    jitter: float = 0.0
+
+    @property
+    def faulted(self) -> bool:
+        return self.cfu_failed or self.overrun or self.jitter > 0.0
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """A seeded, declarative description of injected faults.
+
+    Attributes:
+        seed: root of every per-job pseudo-random draw.
+        cfu_failed: task indices whose CFU is unavailable for the whole
+            horizon; their jobs execute at the base-ISA cost.
+        overrun_prob: probability (per job) of a WCET overrun.
+        overrun_frac: an overrunning job demands ``(1 + frac) x`` budget.
+        overrun_tasks: restrict overruns to these task indices (``None``
+            means every task is eligible).
+        jitter_frac: reconfiguration jitter; each affected job is delayed
+            by ``u x frac x budget`` with ``u`` drawn uniformly in [0, 1).
+        jitter_prob: probability (per job) that jitter strikes.
+    """
+
+    seed: int = 0
+    cfu_failed: frozenset[int] = field(default_factory=frozenset)
+    overrun_prob: float = 0.0
+    overrun_frac: float = 0.0
+    overrun_tasks: frozenset[int] | None = None
+    jitter_frac: float = 0.0
+    jitter_prob: float = 1.0
+
+    def __post_init__(self) -> None:
+        # Normalize iterables so callers can pass plain sets/lists.
+        if not isinstance(self.cfu_failed, frozenset):
+            object.__setattr__(self, "cfu_failed", frozenset(self.cfu_failed))
+        if self.overrun_tasks is not None and not isinstance(
+            self.overrun_tasks, frozenset
+        ):
+            object.__setattr__(
+                self, "overrun_tasks", frozenset(self.overrun_tasks)
+            )
+        if not 0.0 <= self.overrun_prob <= 1.0:
+            raise FaultError("overrun_prob must lie in [0, 1]")
+        if not 0.0 <= self.jitter_prob <= 1.0:
+            raise FaultError("jitter_prob must lie in [0, 1]")
+        if self.overrun_frac < 0.0:
+            raise FaultError("overrun_frac must be non-negative")
+        if self.jitter_frac < 0.0:
+            raise FaultError("jitter_frac must be non-negative")
+        if any(t < 0 for t in self.cfu_failed):
+            raise FaultError("cfu_failed task indices must be non-negative")
+
+    @property
+    def empty(self) -> bool:
+        """True if the model injects nothing (inert by construction)."""
+        return (
+            not self.cfu_failed
+            and (self.overrun_prob == 0.0 or self.overrun_frac == 0.0)
+            and (self.jitter_prob == 0.0 or self.jitter_frac == 0.0)
+        )
+
+    def with_cfu_failed(self, tasks: Iterable[int]) -> "FaultModel":
+        """A copy of this model with *tasks*' CFUs failed out."""
+        return FaultModel(
+            seed=self.seed,
+            cfu_failed=frozenset(tasks),
+            overrun_prob=self.overrun_prob,
+            overrun_frac=self.overrun_frac,
+            overrun_tasks=self.overrun_tasks,
+            jitter_frac=self.jitter_frac,
+            jitter_prob=self.jitter_prob,
+        )
+
+    # ------------------------------------------------------------------
+    # Deterministic per-job draws
+    # ------------------------------------------------------------------
+    def _draw(self, task: int, job: int, salt: str) -> float:
+        """Uniform [0, 1) draw, a pure function of (seed, task, job, salt)."""
+        payload = f"{self.seed}:{task}:{job}:{salt}".encode()
+        digest = hashlib.blake2b(payload, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2.0**64
+
+    def job_fault(self, task: int, job: int, nominal: float, base: float) -> JobFault:
+        """Resolve the fault effect on job *job* of task *task*.
+
+        Args:
+            task: task index in the simulated set.
+            job: 0-based release counter of the job within the horizon.
+            nominal: the analyzed cost of the job under the selected
+                configuration.
+            base: the task's base-ISA (software, configuration 0) cost.
+
+        Returns:
+            A :class:`JobFault`; for the empty model the demand and budget
+            are exactly *nominal* (same float object, no arithmetic).
+        """
+        if task in self.cfu_failed:
+            budget = base
+            cfu = True
+        else:
+            budget = nominal
+            cfu = False
+        demand = budget
+        overrun = False
+        if (
+            self.overrun_prob > 0.0
+            and self.overrun_frac > 0.0
+            and (self.overrun_tasks is None or task in self.overrun_tasks)
+            and self._draw(task, job, "overrun") < self.overrun_prob
+        ):
+            demand = demand * (1.0 + self.overrun_frac)
+            overrun = True
+        jitter = 0.0
+        if (
+            self.jitter_frac > 0.0
+            and self.jitter_prob > 0.0
+            and self._draw(task, job, "jitter-hit") < self.jitter_prob
+        ):
+            jitter = self._draw(task, job, "jitter") * self.jitter_frac * budget
+            demand = demand + jitter
+        return JobFault(
+            demand=demand,
+            budget=budget,
+            cfu_failed=cfu,
+            overrun=overrun,
+            jitter=jitter,
+        )

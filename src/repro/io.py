@@ -147,7 +147,12 @@ def save_json(data: dict[str, Any], path: str | Path) -> None:
 
 def load_json(path: str | Path) -> dict[str, Any]:
     """Read a serialized artifact; validates the schema marker."""
-    data = json.loads(Path(path).read_text())
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ReproError(f"{path}: cannot read ({exc})") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path}: not valid JSON ({exc})") from exc
     if not isinstance(data, dict) or data.get("schema") != _SCHEMA:
         raise ReproError(f"{path}: not a {_SCHEMA} artifact")
     return data

@@ -2,16 +2,32 @@
 
 Both the identification flow (:func:`repro.core.flow.build_tasks`) and the
 reconfiguration searches fan independent jobs out over a
-:class:`~concurrent.futures.ProcessPoolExecutor`.  Sandboxed environments
-(CI runners, seccomp jails) often forbid spawning processes; in that case
-the work must still complete, just serially — but silently ignoring the
-user's ``--workers`` request makes perf investigations confusing, so the
-degradation is logged once per process, naming the swallowed exception.
+:class:`~concurrent.futures.ProcessPoolExecutor`.  The pool is treated as
+*infrastructure that may break*, never as a correctness dependency:
+
+* Sandboxed environments (CI runners, seccomp jails) often forbid spawning
+  processes — pool creation fails with ``OSError``/``PermissionError``.
+* A worker can die mid-map (OOM kill, segfault), which surfaces as
+  :class:`~concurrent.futures.BrokenExecutor` on the affected futures.
+* A pool can wedge; an optional per-map ``timeout=`` bounds the wait.
+
+In every case the jobs that did not finish in the pool are retried
+serially in the parent, so the batch always completes with the same
+results a serial run would produce.  Silently ignoring the user's
+``--workers`` request makes perf investigations confusing, so each
+degradation is logged once per process, naming the failure.  Exceptions
+raised by the job function itself are *not* swallowed — they propagate
+exactly as they would serially.
+
+Setting the ``REPRO_NO_PROCESS_POOL`` environment variable (to anything
+non-empty) forces every map serial — the chaos-test knob for running the
+suite with process pools forbidden.
 """
 
 from __future__ import annotations
 
 import logging
+import os
 import threading
 from collections.abc import Callable, Iterable, Sequence
 from typing import Any, TypeVar
@@ -21,25 +37,48 @@ __all__ = ["parallel_map"]
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
+#: Environment kill switch: force serial execution (chaos testing / known
+#: pool-hostile environments).
+_ENV_NO_POOL = "REPRO_NO_PROCESS_POOL"
+
 logger = logging.getLogger("repro.parallel")
 
 _warned = False
 _warn_lock = threading.Lock()
 
+_MISSING = object()
 
-def _warn_once(exc: BaseException, label: str) -> None:
+
+def _warn_once(exc: BaseException, label: str, retried: int = 0) -> None:
     global _warned
     with _warn_lock:
         if _warned:
             return
         _warned = True
-    logger.warning(
-        "process pool unavailable (%s: %s); running %s serially — "
-        "the requested --workers fan-out is ignored",
-        type(exc).__name__,
-        exc,
-        label,
-    )
+    if retried:
+        logger.warning(
+            "process pool failed mid-map (%s: %s); retrying %d unfinished "
+            "%s serially — the requested --workers fan-out is degraded",
+            type(exc).__name__,
+            exc,
+            retried,
+            label,
+        )
+    else:
+        logger.warning(
+            "process pool unavailable (%s: %s); running %s serially — "
+            "the requested --workers fan-out is ignored",
+            type(exc).__name__,
+            exc,
+            label,
+        )
+
+
+def _reset_warning() -> None:
+    """Re-arm the one-shot degradation warning (test hook)."""
+    global _warned
+    with _warn_lock:
+        _warned = False
 
 
 def parallel_map(
@@ -47,6 +86,7 @@ def parallel_map(
     jobs: Iterable[_T],
     workers: int | None,
     label: str = "jobs",
+    timeout: float | None = None,
 ) -> list[_R]:
     """Map a picklable *fn* over *jobs*, optionally across processes.
 
@@ -55,21 +95,70 @@ def parallel_map(
         jobs: job inputs; results come back in job order.
         workers: with > 1 and more than one job, fan out over that many
             processes; otherwise run serially.  If the pool cannot be
-            created or used (``OSError``/``PermissionError``, e.g. a
-            sandbox without process support) the map degrades to serial
-            and a one-shot warning names the swallowed exception.
+            created (``OSError``/``PermissionError``, e.g. a sandbox
+            without process support) or breaks mid-map
+            (:class:`~concurrent.futures.BrokenExecutor`: a worker was
+            OOM-killed or segfaulted), the jobs that did not complete in
+            the pool are retried serially and a one-shot warning names
+            the failure.  Exceptions raised by *fn* itself propagate.
         label: what the jobs are, for the degradation warning.
+        timeout: optional overall deadline (seconds) for the parallel
+            attempt; on expiry the remaining jobs degrade to serial
+            execution in the parent (the pool is abandoned without
+            waiting on it).
 
     Returns:
         ``[fn(j) for j in jobs]``.
     """
     job_list: Sequence[Any] = list(jobs)
-    if workers is not None and workers > 1 and len(job_list) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    n = len(job_list)
+    use_pool = (
+        workers is not None
+        and workers > 1
+        and n > 1
+        and not os.environ.get(_ENV_NO_POOL)
+    )
+    results: list[Any] = [_MISSING] * n
+    if use_pool:
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, wait
 
+        pool = None
+        failure: BaseException | None = None
+        timed_out = False
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(fn, job_list))
-        except (OSError, PermissionError) as exc:
-            _warn_once(exc, label)
-    return [fn(j) for j in job_list]
+            pool = ProcessPoolExecutor(max_workers=workers)
+            futures = [pool.submit(fn, job) for job in job_list]
+            done, pending = wait(futures, timeout=timeout)
+            timed_out = bool(pending)
+            for i, fut in enumerate(futures):
+                if fut not in done:
+                    continue
+                exc = fut.exception()
+                if exc is None:
+                    results[i] = fut.result()
+                elif isinstance(exc, (BrokenExecutor, OSError, PermissionError)):
+                    # Infrastructure failure on this job; retry it serially.
+                    failure = exc
+                else:
+                    # fn itself raised: a genuine error, same as serial.
+                    raise exc
+        except (BrokenExecutor, OSError, PermissionError) as exc:
+            failure = exc
+        finally:
+            if pool is not None:
+                # Never block on a broken or timed-out pool; leftover
+                # workers exit on their own once their job ends.
+                pool.shutdown(wait=False, cancel_futures=True)
+        unfinished = sum(1 for r in results if r is _MISSING)
+        if failure is not None:
+            _warn_once(failure, label, retried=unfinished)
+        elif timed_out:
+            _warn_once(
+                TimeoutError(f"parallel map exceeded timeout={timeout}s"),
+                label,
+                retried=unfinished,
+            )
+    for i, r in enumerate(results):
+        if r is _MISSING:
+            results[i] = fn(job_list[i])
+    return results

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-__all__ = ["format_table", "sparkline", "format_curve"]
+__all__ = ["format_table", "sparkline", "format_curve", "format_fault_report"]
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
 
@@ -76,3 +76,65 @@ def format_curve(
     """A two-column table plus a sparkline of the y series."""
     table = format_table([x_label, y_label], list(zip(xs, ys)))
     return f"{table}\n{y_label}: {sparkline(list(ys))}"
+
+
+def format_fault_report(report: dict) -> str:
+    """Render a :func:`repro.faults.sweep.sweep_faults` report as text.
+
+    Three sections per policy: the nominal selection, the
+    single-CFU-failure degraded modes (with the simulator cross-check),
+    and the injection scenarios with their containment accounting.
+    """
+    lines = [
+        f"robustness report — task set {report['task_set']} "
+        f"({report['n_tasks']} tasks, area budget {report['area_budget']:.1f}, "
+        f"seed {report['seed']})"
+    ]
+    for entry in report["policies"]:
+        lines.append("")
+        lines.append(
+            f"[{entry['policy']}] nominal: schedulable={entry['schedulable']} "
+            f"U {entry['utilization_before']:.4f} -> "
+            f"{entry['utilization_after']:.4f}"
+        )
+        degraded = entry.get("single_cfu_failure")
+        if degraded is None:
+            lines.append("  nominal selection unschedulable; no degraded modes")
+            continue
+        lines.append(
+            f"  single CFU failure: robust={degraded['robust']} "
+            f"(simulator agrees on all modes: {degraded['sim_agrees_all']})"
+        )
+        lines.append(format_table(
+            ["failed task", "schedulable", "utilization", "worst load", "sim agrees"],
+            [
+                (
+                    m["task"],
+                    str(m["schedulable"]),
+                    m["utilization"],
+                    m["worst_load"],
+                    str(m["sim_agrees"]),
+                )
+                for m in degraded["modes"]
+            ],
+        ))
+        if entry["scenarios"]:
+            lines.append("  injection scenarios:")
+            lines.append(format_table(
+                ["scenario", "containment", "ok", "missed", "aborted",
+                 "faulted", "contained", "excess"],
+                [
+                    (
+                        s["name"],
+                        s["containment"],
+                        str(s["schedulable"]),
+                        s["n_missed"],
+                        s["n_aborted"],
+                        s["faulted_jobs"],
+                        s["contained"],
+                        s["excess_demand"],
+                    )
+                    for s in entry["scenarios"]
+                ],
+            ))
+    return "\n".join(lines)

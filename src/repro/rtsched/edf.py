@@ -11,7 +11,7 @@ from collections.abc import Sequence
 
 from repro.rtsched.task import TaskSet
 
-__all__ = ["edf_schedulable", "edf_schedulable_assignment"]
+__all__ = ["edf_schedulable", "edf_schedulable_assignment", "edf_schedulable_costs"]
 
 #: Numerical slack for utilization comparisons.
 EPS = 1e-9
@@ -20,6 +20,18 @@ EPS = 1e-9
 def edf_schedulable(task_set: TaskSet) -> bool:
     """True if the software-only task set is schedulable under EDF."""
     return task_set.utilization <= 1.0 + EPS
+
+
+def edf_schedulable_costs(
+    periods: Sequence[float], costs: Sequence[float]
+) -> bool:
+    """Exact EDF schedulability for raw (period, cost) arrays.
+
+    The raw-array counterpart of :func:`edf_schedulable_assignment`, used
+    by the degraded-mode analysis (:mod:`repro.faults.degraded`) where the
+    faulted cost vector no longer corresponds to any configuration index.
+    """
+    return sum(c / p for c, p in zip(costs, periods)) <= 1.0 + EPS
 
 
 def edf_schedulable_assignment(task_set: TaskSet, assignment: Sequence[int]) -> bool:

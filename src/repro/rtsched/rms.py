@@ -21,7 +21,13 @@ from collections.abc import Sequence
 
 from repro.rtsched.task import TaskSet
 
-__all__ = ["rms_points", "rms_task_load", "rms_schedulable", "rms_schedulable_costs"]
+__all__ = [
+    "rms_points",
+    "rms_task_load",
+    "rms_task_loads",
+    "rms_schedulable",
+    "rms_schedulable_costs",
+]
 
 EPS = 1e-9
 
@@ -72,6 +78,25 @@ def rms_task_load(
             demand += math.ceil(t / periods[j] - EPS) * costs[j]
         best = min(best, demand / t)
     return best
+
+
+def rms_task_loads(
+    periods: Sequence[float], costs: Sequence[float]
+) -> list[float]:
+    """All per-task load factors ``L_i`` for raw (period, cost) arrays.
+
+    Arrays need not be pre-sorted; loads come back in the *original* task
+    order so callers (the degraded-mode report) can attribute the binding
+    load to the task that carries it.  The set is RMS-schedulable iff every
+    returned value is <= 1.
+    """
+    order = sorted(range(len(periods)), key=lambda k: periods[k])
+    p = [periods[k] for k in order]
+    c = [costs[k] for k in order]
+    loads = [0.0] * len(periods)
+    for rank, original in enumerate(order):
+        loads[original] = rms_task_load(p, c, rank)
+    return loads
 
 
 def rms_schedulable_costs(

@@ -16,6 +16,25 @@ Two engines share the semantics:
   additionally abandons the horizon at the first recorded deadline miss.
 * ``engine="reference"`` — the original release-by-release simulator, kept
   as a differential oracle (see ``tests/test_simulator_properties.py``).
+
+Fault injection (``faults=``, a :class:`repro.faults.model.FaultModel`)
+perturbs per-job demands — CFU-unavailable fallback to the base-ISA cost,
+WCET overruns, reconfiguration jitter — identically in both engines.  The
+``containment`` policy decides what the scheduler does with a job whose
+demand exceeds its analyzed budget:
+
+* ``"run-to-completion"`` (default) — the job runs its full demand; the
+  overrun propagates as interference and shows up as deadline misses.
+* ``"abort-job"`` — the job is killed once it has consumed its budget; it
+  never completes (recorded in ``SimulationResult.aborted``, plus a miss
+  if even the truncated job finishes past its deadline).
+* ``"fallback-to-base"`` — demand is capped at the task's base-ISA cost:
+  the runtime abandons the custom-instruction path rather than running
+  arbitrarily long.
+
+Injecting an **empty** fault model takes the exact same code path as no
+injection at all, so the results are bit-identical (property-tested in
+``tests/test_faults.py``).
 """
 
 from __future__ import annotations
@@ -24,14 +43,46 @@ import heapq
 import math
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ScheduleError
 from repro.rtsched.task import TaskSet
 
-__all__ = ["SimulationResult", "simulate", "simulate_taskset"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> here)
+    from repro.faults.model import FaultModel
+
+__all__ = ["FaultStats", "SimulationResult", "simulate", "simulate_taskset"]
 
 EPS = 1e-9
 _INF = float("inf")
+
+#: Containment policies for jobs whose injected demand exceeds the budget
+#: (kept in sync with :data:`repro.faults.model.CONTAINMENT_POLICIES`).
+_CONTAINMENTS = ("run-to-completion", "abort-job", "fallback-to-base")
+
+
+@dataclass
+class FaultStats:
+    """Per-run accounting of injected faults and containment actions.
+
+    Attributes:
+        jobs: jobs resolved through the fault model.
+        faulted: jobs with at least one fault effect applied.
+        overruns: jobs that drew a WCET overrun.
+        cfu_fallbacks: jobs that ran at base-ISA cost (CFU unavailable).
+        jittered: jobs delayed by reconfiguration jitter.
+        contained: jobs capped or aborted by the containment policy.
+        excess_demand: total injected demand beyond the analyzed budgets
+            (after containment).
+    """
+
+    jobs: int = 0
+    faulted: int = 0
+    overruns: int = 0
+    cfu_fallbacks: int = 0
+    jittered: int = 0
+    contained: int = 0
+    excess_demand: float = 0.0
 
 
 @dataclass
@@ -45,6 +96,10 @@ class SimulationResult:
         horizon: simulated time span.
         max_response: worst observed response time per task (completed
             jobs only; 0.0 for tasks whose jobs never completed).
+        aborted: (task_index, release_time) of each job killed by the
+            ``abort-job`` containment policy (empty without injection).
+        fault_stats: injection/containment accounting, or None when the
+            run injected nothing.
     """
 
     schedulable: bool
@@ -52,6 +107,8 @@ class SimulationResult:
     busy_time: float = 0.0
     horizon: float = 0.0
     max_response: list[float] = field(default_factory=list)
+    aborted: list[tuple[int, float]] = field(default_factory=list)
+    fault_stats: FaultStats | None = None
 
     @property
     def observed_utilization(self) -> float:
@@ -83,6 +140,9 @@ def simulate(
     horizon: float | None = None,
     engine: str = "event",
     stop_on_first_miss: bool = False,
+    faults: "FaultModel | None" = None,
+    containment: str = "run-to-completion",
+    base_costs: Sequence[float] | None = None,
 ) -> SimulationResult:
     """Simulate periodic tasks under EDF or RM.
 
@@ -98,6 +158,15 @@ def simulate(
         stop_on_first_miss: abandon the horizon at the first recorded miss
             (the result then carries that single miss and ``horizon`` is
             the simulated span up to it).
+        faults: optional :class:`repro.faults.model.FaultModel` perturbing
+            per-job demands; an empty model is bit-identical to None.
+        containment: policy for jobs whose demand exceeds the budget —
+            ``"run-to-completion"``, ``"abort-job"`` or
+            ``"fallback-to-base"`` (see the module docstring).
+        base_costs: base-ISA (software) execution times aligned with
+            *periods*, used by CFU-unavailable faults and the
+            fallback-to-base cap; defaults to *costs* (no distinct
+            software path, so CFU faults are no-ops).
 
     Returns:
         A :class:`SimulationResult`.
@@ -109,11 +178,71 @@ def simulate(
         raise ScheduleError(f"unknown policy {policy!r}; use 'edf' or 'rm'")
     if engine not in ("event", "reference"):
         raise ScheduleError(f"unknown engine {engine!r}; use 'event' or 'reference'")
+    if containment not in _CONTAINMENTS:
+        raise ScheduleError(
+            f"unknown containment {containment!r}; use one of {_CONTAINMENTS}"
+        )
+    if faults is not None and faults.empty:
+        faults = None  # inert by construction; take the untouched path
+    if faults is not None:
+        if any(t >= n for t in faults.cfu_failed):
+            raise ScheduleError("fault model names a task index out of range")
+        if base_costs is None:
+            base_costs = costs
+        elif len(base_costs) != n:
+            raise ScheduleError("base_costs must align with periods")
     if horizon is None:
         horizon = _default_horizon(periods)
     if engine == "reference":
-        return _simulate_reference(periods, costs, policy, horizon, stop_on_first_miss)
-    return _simulate_event(periods, costs, policy, horizon, stop_on_first_miss)
+        return _simulate_reference(
+            periods, costs, policy, horizon, stop_on_first_miss,
+            faults, containment, base_costs,
+        )
+    return _simulate_event(
+        periods, costs, policy, horizon, stop_on_first_miss,
+        faults, containment, base_costs,
+    )
+
+
+def _inject_job(
+    faults: "FaultModel",
+    containment: str,
+    task: int,
+    job: int,
+    nominal: float,
+    base: float,
+    release: float,
+    abort_keys: set[tuple[int, float]],
+    stats: FaultStats,
+) -> float:
+    """Resolve one job through the fault model + containment policy.
+
+    Returns the demand the simulator should charge; under ``abort-job`` a
+    demand above budget is truncated to the budget and the job is marked
+    in *abort_keys* so its completion is recorded as an abort.
+    """
+    jf = faults.job_fault(task, job, nominal, base)
+    stats.jobs += 1
+    if jf.cfu_failed:
+        stats.cfu_fallbacks += 1
+    if jf.overrun:
+        stats.overruns += 1
+    if jf.jitter > 0.0:
+        stats.jittered += 1
+    if jf.faulted:
+        stats.faulted += 1
+    demand = jf.demand
+    if containment == "fallback-to-base":
+        cap = base if base > jf.budget else jf.budget
+        if demand > cap:
+            demand = cap
+            stats.contained += 1
+    elif containment == "abort-job" and demand > jf.budget + EPS:
+        demand = jf.budget
+        abort_keys.add((task, release))
+        stats.contained += 1
+    stats.excess_demand += demand - jf.budget
+    return demand
 
 
 def _simulate_event(
@@ -122,6 +251,9 @@ def _simulate_event(
     policy: str,
     horizon: float,
     stop_on_first_miss: bool,
+    faults: "FaultModel | None" = None,
+    containment: str = "run-to-completion",
+    base_costs: Sequence[float] | None = None,
 ) -> SimulationResult:
     """Event-compressed engine: the running job advances in one span to its
     completion or the first preempting release; idle gaps jump to the next
@@ -150,16 +282,31 @@ def _simulate_event(
     busy = 0.0
     missed: list[tuple[int, float]] = []
     max_response = [0.0] * n
+    # Fault-injection state (inert when faults is None: job demands are the
+    # untouched cost floats, abort_keys stays empty, stats stays None).
+    stats = FaultStats() if faults is not None else None
+    aborted: list[tuple[int, float]] = []
+    abort_keys: set[tuple[int, float]] = set()
+    release_idx = [0] * n
 
     def push_due(now: float) -> None:
         bound = now + EPS
         while rel_heap and rel_heap[0][0] <= bound:
             r, i = pop(rel_heap)
             p = periods[i]
-            if edf:
-                push(ready, (r + p, i, r, costs[i]))
+            if faults is not None:
+                k = release_idx[i]
+                release_idx[i] = k + 1
+                demand = _inject_job(
+                    faults, containment, i, k, costs[i], base_costs[i],
+                    r, abort_keys, stats,
+                )
             else:
-                push(ready, (rm_rank[i], r + p, i, r, costs[i]))
+                demand = costs[i]
+            if edf:
+                push(ready, (r + p, i, r, demand))
+            else:
+                push(ready, (rm_rank[i], r + p, i, r, demand))
             r += p
             next_release[i] = r
             if r < release_cap:
@@ -224,19 +371,28 @@ def _simulate_event(
             break
         busy += remaining
         time = finish
-        response = time - release
-        if response > max_response[task]:
-            max_response[task] = response
+        if abort_keys and (task, release) in abort_keys:
+            # The containment policy killed this job at budget exhaustion:
+            # it consumed its budget but never completed (no response).
+            abort_keys.discard((task, release))
+            aborted.append((task, release))
+        else:
+            response = time - release
+            if response > max_response[task]:
+                max_response[task] = response
         if time > deadline + EPS:
             missed.append((task, release))
             if stop_on_first_miss:
                 missed.sort()
+                aborted.sort()
                 return SimulationResult(
                     schedulable=False,
                     missed=missed,
                     busy_time=busy,
                     horizon=time,
                     max_response=max_response,
+                    aborted=aborted,
+                    fault_stats=stats,
                 )
         if rel_heap and rel_heap[0][0] <= time + EPS:
             push_due(time)
@@ -253,12 +409,15 @@ def _simulate_event(
         if remaining > EPS and deadline <= horizon + EPS:
             missed.append((task, release))
     missed.sort()
+    aborted.sort()
     return SimulationResult(
         schedulable=not missed,
         missed=missed,
         busy_time=busy,
         horizon=horizon,
         max_response=max_response,
+        aborted=aborted,
+        fault_stats=stats,
     )
 
 
@@ -268,6 +427,9 @@ def _simulate_reference(
     policy: str,
     horizon: float,
     stop_on_first_miss: bool = False,
+    faults: "FaultModel | None" = None,
+    containment: str = "run-to-completion",
+    base_costs: Sequence[float] | None = None,
 ) -> SimulationResult:
     """The original release-by-release simulator (differential oracle)."""
     n = len(periods)
@@ -287,11 +449,24 @@ def _simulate_reference(
     busy = 0.0
     missed: list[tuple[int, float]] = []
     max_response = [0.0] * n
+    stats = FaultStats() if faults is not None else None
+    aborted: list[tuple[int, float]] = []
+    abort_keys: set[tuple[int, float]] = set()
+    release_idx = [0] * n
 
     def release_due(now: float) -> None:
         for i in range(n):
             while next_release[i] <= now + EPS and next_release[i] < horizon - EPS:
                 r = next_release[i]
+                if faults is not None:
+                    k = release_idx[i]
+                    release_idx[i] = k + 1
+                    demand = _inject_job(
+                        faults, containment, i, k, costs[i], base_costs[i],
+                        r, abort_keys, stats,
+                    )
+                else:
+                    demand = costs[i]
                 heapq.heappush(
                     ready,
                     _Job(
@@ -299,7 +474,7 @@ def _simulate_reference(
                         task=i,
                         release=r,
                         deadline=r + periods[i],
-                        remaining=costs[i],
+                        remaining=demand,
                     ),
                 )
                 next_release[i] = r + periods[i]
@@ -328,19 +503,26 @@ def _simulate_reference(
         busy += run
         job.remaining -= run
         if job.remaining <= EPS:
-            max_response[job.task] = max(
-                max_response[job.task], time - job.release
-            )
+            if abort_keys and (job.task, job.release) in abort_keys:
+                abort_keys.discard((job.task, job.release))
+                aborted.append((job.task, job.release))
+            else:
+                max_response[job.task] = max(
+                    max_response[job.task], time - job.release
+                )
             if time > job.deadline + EPS:
                 missed.append((job.task, job.release))
                 if stop_on_first_miss:
                     missed.sort()
+                    aborted.sort()
                     return SimulationResult(
                         schedulable=False,
                         missed=missed,
                         busy_time=busy,
                         horizon=time,
                         max_response=max_response,
+                        aborted=aborted,
+                        fault_stats=stats,
                     )
         else:
             heapq.heappush(ready, job)
@@ -351,12 +533,15 @@ def _simulate_reference(
         if job.remaining > EPS and job.deadline <= horizon + EPS:
             missed.append((job.task, job.release))
     missed.sort()
+    aborted.sort()
     return SimulationResult(
         schedulable=not missed,
         missed=missed,
         busy_time=busy,
         horizon=horizon,
         max_response=max_response,
+        aborted=aborted,
+        fault_stats=stats,
     )
 
 
@@ -367,8 +552,14 @@ def simulate_taskset(
     horizon: float | None = None,
     engine: str = "event",
     stop_on_first_miss: bool = False,
+    faults: "FaultModel | None" = None,
+    containment: str = "run-to-completion",
 ) -> SimulationResult:
-    """Simulate a :class:`TaskSet` under a configuration assignment."""
+    """Simulate a :class:`TaskSet` under a configuration assignment.
+
+    When *faults* is given, CFU-unavailable faults fall each affected
+    task's jobs back to its configuration-0 (software) cost.
+    """
     tasks = task_set.tasks
     if assignment is None:
         costs = [t.wcet for t in tasks]
@@ -381,4 +572,7 @@ def simulate_taskset(
         horizon=horizon,
         engine=engine,
         stop_on_first_miss=stop_on_first_miss,
+        faults=faults,
+        containment=containment,
+        base_costs=[t.configurations[0].cycles for t in tasks],
     )

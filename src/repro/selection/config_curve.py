@@ -47,6 +47,12 @@ class TaskConfiguration:
     cycles: float
     selected: tuple[int, ...] = ()
 
+    @property
+    def is_software(self) -> bool:
+        """True for the pure base-ISA configuration (no CFU area, nothing
+        selected) — the fallback target when a CFU is faulted out."""
+        return self.area == 0.0 and not self.selected
+
 
 def bind_customized_cost(
     program: Program,

@@ -164,3 +164,95 @@ class TestTaskBuildIntegration:
         cache.clear()
         parallel = build_tasks(programs, workers=2)
         assert serial == parallel
+
+
+class TestDiskHardening:
+    """Corrupt, truncated or tampered disk entries degrade to misses."""
+
+    def _store_one(self, tmp_path):
+        cache.set_cache_dir(tmp_path)
+        program = make_program()
+        task = build_task(program)
+        files = list(tmp_path.glob("repro-cache-*.json"))
+        assert files, "expected disk entries"
+        return program, task, files
+
+    def test_entries_carry_checksum_and_schema(self, tmp_path):
+        import json
+
+        _, _, files = self._store_one(tmp_path)
+        for f in files:
+            entry = json.loads(f.read_text())
+            assert entry["schema"] == cache.SCHEMA_VERSION
+            assert entry["checksum"] == cache._payload_checksum(entry["payload"])
+
+    def test_truncated_entry_quarantined_and_rebuilt(self, tmp_path):
+        program, task, files = self._store_one(tmp_path)
+        for f in files:
+            f.write_text(f.read_text()[: len(f.read_text()) // 2])
+        cache.clear()
+        rebuilt = build_task(program)  # miss -> recompute, never raises
+        assert rebuilt == task
+        assert list(tmp_path.glob("*.corrupt")), "corrupt files not quarantined"
+
+    def test_garbage_entry_quarantined(self, tmp_path):
+        program, task, files = self._store_one(tmp_path)
+        for f in files:
+            f.write_text("\x00\xff garbage not json")
+        cache.clear()
+        assert build_task(program) == task
+        assert len(list(tmp_path.glob("*.corrupt"))) == len(files)
+
+    def test_tampered_payload_rejected_by_checksum(self, tmp_path):
+        import json
+
+        program, task, files = self._store_one(tmp_path)
+        for f in files:
+            entry = json.loads(f.read_text())
+            if isinstance(entry["payload"], list) and entry["payload"]:
+                entry["payload"] = entry["payload"][:-1]  # drop an element
+                f.write_text(json.dumps(entry))
+        cache.clear()
+        assert build_task(program) == task  # tamper detected -> recompute
+
+    def test_non_object_entry_quarantined(self, tmp_path):
+        program, task, files = self._store_one(tmp_path)
+        for f in files:
+            f.write_text('["not", "an", "object"]')
+        cache.clear()
+        assert build_task(program) == task
+        assert list(tmp_path.glob("*.corrupt"))
+
+    def test_stale_schema_is_plain_miss_without_quarantine(self, tmp_path):
+        import json
+
+        program, task, files = self._store_one(tmp_path)
+        for f in files:
+            entry = json.loads(f.read_text())
+            entry["schema"] = cache.SCHEMA_VERSION - 1
+            f.write_text(json.dumps(entry))
+        cache.clear()
+        assert build_task(program) == task
+        assert not list(tmp_path.glob("*.corrupt"))
+
+    def test_writes_are_atomic_no_tmp_left_behind(self, tmp_path):
+        self._store_one(tmp_path)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_clear_disk_sweeps_quarantined_files(self, tmp_path):
+        program, _, files = self._store_one(tmp_path)
+        files[0].write_text("{broken")
+        cache.clear()
+        cache.fetch_candidates("0" * 64)  # touch the disk tier
+        build_task(program)
+        cache.clear(disk=True)
+        assert not list(tmp_path.glob("repro-cache-*"))
+
+    def test_corruption_round_trip_preserves_results(self, tmp_path):
+        """Alternating corruption and rebuilds never changes the artifact."""
+        program, task, _ = self._store_one(tmp_path)
+        for _ in range(3):
+            for f in tmp_path.glob("repro-cache-*.json"):
+                f.write_text("{torn write")
+            cache.clear()
+            assert build_task(program) == task

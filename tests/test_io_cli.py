@@ -141,3 +141,52 @@ class TestCli:
         assert main(["pareto", "crc32", "lms", "--eps", "3.0"]) == 0
         out = capsys.readouterr().out
         assert "Pareto" in out
+
+
+class TestCliFaults:
+    def test_faults_synthetic_and_save(self, tmp_path, capsys):
+        out_file = tmp_path / "faults.json"
+        code = main(
+            [
+                "faults", "crc32", "sha",
+                "--utilization", "1.05",
+                "--policy", "edf",
+                "--overrun-frac", "0.25",
+                "--output", str(out_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "single CFU failure" in out
+        report = json.loads(out_file.read_text())
+        assert report["policies"][0]["policy"] == "edf"
+        assert report["policies"][0]["single_cfu_failure"]["sim_agrees_all"]
+
+    def test_faults_from_json(self, tmp_path, capsys):
+        ts_file = tmp_path / "ts.json"
+        repro_io.save_json(repro_io.task_set_to_dict(_task_set()), ts_file)
+        code = main(
+            ["faults", "x", "--input", str(ts_file), "--area", "5",
+             "--policy", "both"]
+        )
+        assert code in (0, 1)  # robust or fragile, but never an error
+        out = capsys.readouterr().out
+        assert "robustness report" in out
+
+    def test_faults_deterministic_across_runs(self, tmp_path, capsys):
+        args = ["faults", "crc32", "--utilization", "1.05", "--policy",
+                "rms", "--seed", "7"]
+        main(args + ["--output", str(tmp_path / "a.json")])
+        main(args + ["--output", str(tmp_path / "b.json")])
+        capsys.readouterr()
+        assert (tmp_path / "a.json").read_text() == (
+            tmp_path / "b.json"
+        ).read_text()
+
+    def test_faults_bad_input_is_one_line_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(["faults", "x", "--input", str(bad)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error:")

@@ -1,0 +1,106 @@
+"""Robustness tests for :func:`repro.parallel.parallel_map`.
+
+The process pool is infrastructure, not a correctness dependency: worker
+crashes, timeouts and forbidden pools must all degrade to serial execution
+with the same results — never a lost batch, never a wrong result.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro import parallel
+from repro.parallel import parallel_map
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _crash_in_worker(x: int) -> int:
+    """Dies hard in a pool worker; computes normally in the parent."""
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return x + 100
+
+
+def _slow_in_worker(x: int) -> int:
+    """Stalls in a pool worker; returns instantly in the parent."""
+    if multiprocessing.parent_process() is not None:
+        time.sleep(30.0)
+    return x * 2
+
+
+def _raise_value_error(x: int) -> int:
+    raise ValueError(f"job {x} is bad")
+
+
+@pytest.fixture(autouse=True)
+def _rearm_warning():
+    parallel._reset_warning()
+    yield
+    parallel._reset_warning()
+
+
+class TestHappyPaths:
+    def test_serial_when_workers_none(self):
+        assert parallel_map(_square, [1, 2, 3], workers=None) == [1, 4, 9]
+
+    def test_serial_single_job(self):
+        assert parallel_map(_square, [5], workers=8) == [25]
+
+    def test_parallel_matches_serial(self):
+        jobs = list(range(6))
+        assert parallel_map(_square, jobs, workers=2) == [
+            _square(j) for j in jobs
+        ]
+
+
+class TestDegradedPaths:
+    def test_worker_crash_retries_serially(self, caplog):
+        with caplog.at_level("WARNING", logger="repro.parallel"):
+            out = parallel_map(
+                _crash_in_worker, [1, 2, 3, 4], workers=2, label="crashers"
+            )
+        assert out == [101, 102, 103, 104]
+        assert any("crashers" in r.message for r in caplog.records)
+        assert any("BrokenProcessPool" in r.message for r in caplog.records)
+
+    def test_crash_warning_is_one_shot(self, caplog):
+        with caplog.at_level("WARNING", logger="repro.parallel"):
+            parallel_map(_crash_in_worker, [1, 2], workers=2)
+            parallel_map(_crash_in_worker, [3, 4], workers=2)
+        assert len(caplog.records) == 1
+
+    def test_timeout_degrades_to_serial(self, caplog):
+        start = time.monotonic()
+        with caplog.at_level("WARNING", logger="repro.parallel"):
+            out = parallel_map(
+                _slow_in_worker, [1, 2, 3], workers=2, timeout=0.5,
+                label="sleepers",
+            )
+        assert out == [2, 4, 6]
+        assert time.monotonic() - start < 25.0  # never waited on the pool
+        assert any("timeout" in r.message.lower() for r in caplog.records)
+
+    def test_env_kill_switch_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_PROCESS_POOL", "1")
+        # _crash_in_worker would break any pool; serial execution proves
+        # no pool was ever created.
+        assert parallel_map(_crash_in_worker, [1, 2, 3], workers=4) == [
+            101, 102, 103,
+        ]
+
+
+class TestErrorPropagation:
+    def test_fn_exception_propagates_serially(self):
+        with pytest.raises(ValueError, match="job 1 is bad"):
+            parallel_map(_raise_value_error, [1, 2], workers=None)
+
+    def test_fn_exception_propagates_from_pool(self):
+        with pytest.raises(ValueError, match="is bad"):
+            parallel_map(_raise_value_error, [1, 2, 3], workers=2)
