@@ -20,6 +20,7 @@ import time
 from contextlib import contextmanager
 from pathlib import Path
 
+from repro import obs
 from repro.core import build_task
 from repro.core.flow import build_tasks
 from repro.rtsched import PeriodicTask, TaskSet, scale_periods_for_utilization
@@ -41,7 +42,13 @@ def emit(name: str, lines: list[str]) -> None:
 
 
 def emit_json(name: str, payload: dict) -> Path:
-    """Persist a machine-readable result under benchmarks/results/."""
+    """Persist a machine-readable result under benchmarks/results/.
+
+    A snapshot of the obs metrics registry rides along under ``metrics``
+    (unless the payload already carries one), so every ``BENCH_*.json``
+    records the cache/enumeration/simulator counters of its run.
+    """
+    payload.setdefault("metrics", obs.metrics_snapshot())
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -19,7 +19,7 @@ import math
 import time
 
 from benchmarks.common import emit_json, reset_stages, stage, stage_report
-from repro import cache
+from repro import cache, obs
 from repro.core import select_edf, select_rms
 from repro.enumeration import build_candidate_library
 from repro.rtsched import PeriodicTask, scale_periods_for_utilization
@@ -100,6 +100,29 @@ def _run_pipeline(engine: str, use_cache: bool, label: str) -> dict:
     }
 
 
+def _disabled_span_ns(iterations: int = 200_000) -> float:
+    """Average per-call cost of :func:`repro.obs.span` with tracing off."""
+    assert not obs.tracing_enabled()
+    span = obs.span
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        with span("overhead-probe"):
+            pass
+    return (time.perf_counter() - t0) / iterations * 1e9
+
+
+def test_obs_disabled_overhead_guard():
+    """Disabled tracing must be a near-free no-op on the hot path.
+
+    The guard bounds the per-``span()`` cost with tracing off; the 5 µs
+    ceiling is ~100x the observed cost, so only a broken no-op path (e.g.
+    losing the ``_TRACING`` early-out) trips it — timer noise cannot.
+    """
+    assert obs.span("a") is obs.span("b"), "disabled span must be a shared singleton"
+    per_call_ns = _disabled_span_ns()
+    assert per_call_ns < 5_000, f"disabled span costs {per_call_ns:.0f}ns/call"
+
+
 def test_identification_pipeline_speed(benchmark):
     cache.clear()
     reference = _run_pipeline("reference", use_cache=False, label="reference_cold")
@@ -130,6 +153,9 @@ def test_identification_pipeline_speed(benchmark):
             "warm_vs_cold_total": ratio(
                 cold["total_seconds"], warm["total_seconds"]
             ),
+        },
+        "obs": {
+            "disabled_span_ns": round(_disabled_span_ns(20_000), 1),
         },
     }
     emit_json("BENCH_identification", payload)

@@ -18,6 +18,7 @@ Quickstart::
     print(result.utilization_after, result.schedulable)
 """
 
+from repro import obs
 from repro.core import (
     CustomizationResult,
     EdfSelection,
@@ -103,6 +104,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # observability
+    "obs",
     # core
     "CustomizationResult",
     "EdfSelection",

@@ -23,8 +23,13 @@ The disk tier is hardened against a hostile filesystem: entries are
 written atomically (unique tempfile + ``os.replace``) and carry a SHA-256
 payload checksum; on load, a corrupt, truncated or checksum-mismatched
 entry is treated as a plain miss — the offending file is quarantined with
-a ``.corrupt`` suffix and a one-shot warning is logged, never an
-exception, never a wrong payload.
+a ``.corrupt`` suffix and a warning is logged once per observability epoch
+(every occurrence is still counted on the ``cache.corrupt_entries``
+metric; see :func:`repro.obs.reset`), never an exception, never a wrong
+payload.
+
+Hit/miss accounting is mirrored into :mod:`repro.obs` under
+``cache.<kind>.hits`` / ``.misses`` / ``.disk_hits``.
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ from collections.abc import Callable, Iterable, Sequence
 from pathlib import Path
 from typing import Any
 
+from repro import obs
 from repro.enumeration.patterns import Candidate
 from repro.graphs.program import Block, IfElse, Loop, Program, Seq
 from repro.selection.config_curve import TaskConfiguration
@@ -49,6 +55,8 @@ __all__ = [
     "artifact_key",
     "cache_dir",
     "cache_info",
+    "registered_kinds",
+    "stats",
     "candidates_digest",
     "clear",
     "curves_digest",
@@ -78,22 +86,18 @@ _ENV_DIR = "REPRO_CACHE_DIR"
 
 logger = logging.getLogger("repro.cache")
 
-_corrupt_warned = False
-_corrupt_lock = threading.Lock()
-
 
 def _warn_corrupt_once(path: Path, reason: str) -> None:
-    global _corrupt_warned
-    with _corrupt_lock:
-        if _corrupt_warned:
-            return
-        _corrupt_warned = True
-    logger.warning(
-        "corrupt cache entry %s (%s); quarantined as *.corrupt and treated "
-        "as a miss (further corrupt entries are handled silently)",
-        path.name,
-        reason,
-    )
+    # Every occurrence is counted even when the log line is suppressed;
+    # obs.reset() re-arms the log-once state (one line per epoch).
+    obs.inc("cache.corrupt_entries")
+    if obs.warn_once("cache.corrupt"):
+        logger.warning(
+            "corrupt cache entry %s (%s); quarantined as *.corrupt and treated "
+            "as a miss (further corrupt entries are handled silently)",
+            path.name,
+            reason,
+        )
 
 
 def _quarantine(path: Path, reason: str) -> None:
@@ -116,7 +120,8 @@ def _payload_checksum(payload: Any) -> str:
 class _LRUCache:
     """A small thread-safe LRU map (no TTL; artifacts are content-keyed)."""
 
-    def __init__(self, maxsize: int) -> None:
+    def __init__(self, kind: str, maxsize: int) -> None:
+        self.kind = kind
         self.maxsize = maxsize
         self._data: OrderedDict[str, Any] = OrderedDict()
         self._lock = threading.Lock()
@@ -129,9 +134,11 @@ class _LRUCache:
                 value = self._data.pop(key)
             except KeyError:
                 self.misses += 1
+                obs.inc(f"cache.{self.kind}.misses")
                 return None
             self._data[key] = value
             self.hits += 1
+            obs.inc(f"cache.{self.kind}.hits")
             return value
 
     def put(self, key: str, value: Any) -> None:
@@ -151,11 +158,22 @@ class _LRUCache:
         return len(self._data)
 
 
-_LIBRARIES = _LRUCache(maxsize=256)
-_CURVES = _LRUCache(maxsize=512)
-_PARETO = _LRUCache(maxsize=512)
-_SELECTIONS = _LRUCache(maxsize=2048)
-_PARTITIONS = _LRUCache(maxsize=256)
+#: Single registry of artifact kinds: stats()/clear() derive from it, so a
+#: new kind can never drift out of the report or survive a clear().
+_KINDS: dict[str, _LRUCache] = {}
+
+
+def _register_kind(kind: str, maxsize: int) -> _LRUCache:
+    lru = _LRUCache(kind, maxsize)
+    _KINDS[kind] = lru
+    return lru
+
+
+_LIBRARIES = _register_kind("library", maxsize=256)
+_CURVES = _register_kind("curve", maxsize=512)
+_PARETO = _register_kind("pareto", maxsize=512)
+_SELECTIONS = _register_kind("selection", maxsize=2048)
+_PARTITIONS = _register_kind("partition", maxsize=256)
 _enabled = True
 _dir_override: Path | None | str = ""  # "" means "follow the environment"
 
@@ -193,12 +211,10 @@ def cache_dir() -> Path | None:
 
 
 def clear(disk: bool = False) -> None:
-    """Drop all in-process entries (and optionally the on-disk files)."""
-    _LIBRARIES.clear()
-    _CURVES.clear()
-    _PARETO.clear()
-    _SELECTIONS.clear()
-    _PARTITIONS.clear()
+    """Drop all in-process entries of every registered kind, zero every
+    hit/miss counter (and optionally delete the on-disk files)."""
+    for lru in _KINDS.values():
+        lru.clear()
     if disk:
         d = cache_dir()
         if d is not None and d.is_dir():
@@ -211,35 +227,25 @@ def clear(disk: bool = False) -> None:
                     f.unlink(missing_ok=True)
 
 
-def cache_info() -> dict[str, dict[str, int]]:
-    """Hit/miss/size counters per artifact kind (for tests and reports)."""
+def registered_kinds() -> tuple[str, ...]:
+    """Every artifact kind known to the cache, sorted."""
+    return tuple(sorted(_KINDS))
+
+
+def stats() -> dict[str, dict[str, int]]:
+    """Hit/miss/size counters per artifact kind (for tests and reports).
+
+    Derived from the kind registry, so the keys are exactly
+    :func:`registered_kinds` — a kind can never drift out of the report.
+    """
     return {
-        "library": {
-            "hits": _LIBRARIES.hits,
-            "misses": _LIBRARIES.misses,
-            "size": len(_LIBRARIES),
-        },
-        "curve": {
-            "hits": _CURVES.hits,
-            "misses": _CURVES.misses,
-            "size": len(_CURVES),
-        },
-        "pareto": {
-            "hits": _PARETO.hits,
-            "misses": _PARETO.misses,
-            "size": len(_PARETO),
-        },
-        "selection": {
-            "hits": _SELECTIONS.hits,
-            "misses": _SELECTIONS.misses,
-            "size": len(_SELECTIONS),
-        },
-        "partition": {
-            "hits": _PARTITIONS.hits,
-            "misses": _PARTITIONS.misses,
-            "size": len(_PARTITIONS),
-        },
+        kind: {"hits": lru.hits, "misses": lru.misses, "size": len(lru)}
+        for kind, lru in sorted(_KINDS.items())
     }
+
+
+#: Backwards-compatible alias (pre-observability name).
+cache_info = stats
 
 
 # ----------------------------------------------------------------------
@@ -503,6 +509,7 @@ def _fetch(
     raw = _disk_read(kind, key)
     if raw is None:
         return None
+    obs.inc(f"cache.{kind}.disk_hits")
     values = [decode(d) for d in raw]
     lru.put(key, tuple(values))
     return values
@@ -534,6 +541,7 @@ def _fetch_json(lru: _LRUCache, kind: str, key: str) -> Any | None:
     raw = _disk_read(kind, key)
     if raw is None:
         return None
+    obs.inc(f"cache.{kind}.disk_hits")
     lru.put(key, json.dumps(raw))
     return raw
 

@@ -28,10 +28,30 @@ import sys
 from collections.abc import Sequence
 
 from repro import io as repro_io
+from repro import obs
 from repro.errors import ReproError
-from repro.report import format_curve, format_fault_report, format_table
+from repro.report import (
+    format_curve,
+    format_fault_report,
+    format_metrics,
+    format_table,
+    format_trace_summary,
+)
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    """Attach ``--trace``/``--metrics`` to a subparser.
+
+    The ``SUPPRESS`` default keeps an absent subcommand flag from
+    clobbering the top-level value (same pattern as ``--no-cache``).
+    """
+    p.add_argument("--trace", metavar="FILE", default=argparse.SUPPRESS,
+                   help="record a span trace of this run as JSONL")
+    p.add_argument("--metrics", action="store_true",
+                   default=argparse.SUPPRESS,
+                   help="print the metrics registry after the run")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,14 +67,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--engine", choices=("bitset", "reference"),
                         default="bitset",
                         help="candidate-enumeration engine (default bitset)")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="record a span trace of this run as JSONL")
+    parser.add_argument("--metrics", action="store_true", default=False,
+                        help="print the metrics registry after the run")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("benchmarks", help="list built-in synthetic benchmarks")
+    p_bench = sub.add_parser("benchmarks",
+                             help="list built-in synthetic benchmarks")
+    _add_obs_flags(p_bench)
 
     p_curve = sub.add_parser("curve", help="build a task's configuration curve")
     p_curve.add_argument("benchmark")
     p_curve.add_argument("--objective", choices=("avg", "wcet"), default="avg")
     p_curve.add_argument("--output", help="save the task set as JSON")
+    _add_obs_flags(p_curve)
 
     p_cust = sub.add_parser("customize", help="inter-task selection (Ch. 3)")
     p_cust.add_argument("benchmarks", nargs="+")
@@ -66,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cust.add_argument("--input", help="load the task set from JSON instead")
     p_cust.add_argument("--workers", type=int, default=None,
                         help="build per-task curves in N parallel processes")
+    _add_obs_flags(p_cust)
 
     p_par = sub.add_parser("pareto", help="utilization-area Pareto curve (Ch. 4)")
     p_par.add_argument("benchmarks", nargs="+")
@@ -76,15 +104,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_par.add_argument("--no-cache", action="store_true",
                        default=argparse.SUPPRESS,
                        help="disable the artifact cache for this run")
+    _add_obs_flags(p_par)
 
     p_exp = sub.add_parser("explain", help="sensitivity analysis of a task set")
     p_exp.add_argument("benchmarks", nargs="+")
     p_exp.add_argument("--utilization", type=float, default=1.05)
     p_exp.add_argument("--area", type=float, default=None)
+    _add_obs_flags(p_exp)
 
     p_val = sub.add_parser("validate", help="cross-model consistency checks")
     p_val.add_argument("benchmarks", nargs="+")
     p_val.add_argument("--utilization", type=float, default=1.05)
+    _add_obs_flags(p_val)
 
     p_rec = sub.add_parser("reconfig", help="hot-loop partitioning (Ch. 6)")
     p_rec.add_argument("--input", help="hot-loops JSON (default: JPEG case study)")
@@ -95,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--no-cache", action="store_true",
                        default=argparse.SUPPRESS,
                        help="disable the artifact cache for this run")
+    _add_obs_flags(p_rec)
 
     p_flt = sub.add_parser(
         "faults",
@@ -127,6 +159,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_flt.add_argument("--output",
                        help="write the robustness report JSON here "
                             "(BENCH_faults.json style)")
+    _add_obs_flags(p_flt)
+
+    p_tr = sub.add_parser("trace", help="inspect a recorded span trace")
+    p_tr.add_argument("action", choices=("summarize",),
+                      help="report to produce")
+    p_tr.add_argument("file", help="trace JSONL written by --trace")
+    p_tr.add_argument("--top", type=int, default=10,
+                      help="number of slowest spans to list (default 10)")
 
     return parser
 
@@ -188,6 +228,19 @@ def _cmd_customize(args: argparse.Namespace) -> int:
         ("schedulable", result.schedulable),
         ("area used", result.area),
     ]
+    if result.assignment is not None:
+        # Cross-check the analytic verdict with the discrete-event
+        # simulator (the exit code stays analytic).
+        from repro.rtsched.simulator import simulate_taskset
+
+        with obs.span("validate", kind="simulation", policy=args.policy):
+            sim = simulate_taskset(
+                task_set,
+                assignment=list(result.assignment),
+                policy="rm" if args.policy == "rms" else "edf",
+                stop_on_first_miss=True,
+            )
+        rows.append(("simulation agrees", sim.schedulable == result.schedulable))
     print(format_table(["metric", "value"], rows))
     if result.assignment is not None:
         for t, j in zip(task_set, result.assignment):
@@ -349,6 +402,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if robust else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    spans, metrics = obs.load_trace(args.file)
+    print(format_trace_summary(spans, metrics, top=args.top))
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "benchmarks":
         return _cmd_benchmarks()
@@ -366,6 +425,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_reconfig(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -383,11 +444,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         cache.set_cache_dir(args.cache_dir)
     if args.no_cache:
         cache.set_enabled(False)
+    trace_path = getattr(args, "trace", None)
+    show_metrics = getattr(args, "metrics", False)
+    if trace_path:
+        obs.enable_tracing()
     try:
-        return _dispatch(args)
+        with obs.span("cli", command=args.command):
+            code = _dispatch(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        code = 2
+    if trace_path:
+        obs.export_trace(trace_path)
+        print(f"trace written to {trace_path}", file=sys.stderr)
+    if show_metrics:
+        print(format_metrics(obs.metrics_snapshot()))
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,7 +22,7 @@ from math import gcd
 
 import numpy as np
 
-from repro import cache
+from repro import cache, obs
 from repro.errors import ScheduleError
 from repro.rtsched.task import TaskSet
 
@@ -112,10 +112,26 @@ def select_edf(
                 assignment=tuple(cached["assignment"]),
                 area=cached["area"],
             )
+    with obs.span("select.edf", tasks=len(task_set), engine=engine):
+        return _select_edf_dp(
+            task_set, area_budget, scale, max_steps, engine, key
+        )
+
+
+def _select_edf_dp(
+    task_set: TaskSet,
+    area_budget: float,
+    scale: int,
+    max_steps: int,
+    engine: str,
+    key: str | None,
+) -> EdfSelection:
+    """The DP proper (split out so the span covers exactly the solve)."""
     tasks = task_set.tasks
     all_areas = [c.area for t in tasks for c in t.configurations]
     q = _quantum(all_areas, max(area_budget, 1e-9), scale, max_steps)
     cap = int(round(area_budget * scale)) // q
+    obs.inc("selection.edf.dp_cells", (cap + 1) * len(tasks))
 
     def steps(a: float) -> int:
         # Round *up* so quantization never understates consumed area.

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.edf_select import EdfSelection, select_edf
 from repro.core.rms_select import RmsSelection, select_rms
 from repro.enumeration.library import build_candidate_library
@@ -100,22 +101,26 @@ def build_task(
         use_cache: memoize the identification artifacts (candidate library
             and configuration curve) through :mod:`repro.cache`.
     """
-    library = build_candidate_library(
-        program,
-        max_inputs=max_inputs,
-        max_outputs=max_outputs,
-        engine=engine,
-        use_cache=use_cache,
-    )
-    curve = build_configuration_curve(
-        program,
-        library.candidates,
-        steps=curve_steps,
-        objective=objective,
-        method=method,
-        use_cache=use_cache,
-    )
-    curve = downsample_curve(curve, max_configs)
+    with obs.span("identify", task=program.name) as sp:
+        library = build_candidate_library(
+            program,
+            max_inputs=max_inputs,
+            max_outputs=max_outputs,
+            engine=engine,
+            use_cache=use_cache,
+        )
+        sp.set(candidates=len(library.candidates))
+    with obs.span("curves", task=program.name) as sp:
+        curve = build_configuration_curve(
+            program,
+            library.candidates,
+            steps=curve_steps,
+            objective=objective,
+            method=method,
+            use_cache=use_cache,
+        )
+        curve = downsample_curve(curve, max_configs)
+        sp.set(configurations=len(curve))
     wcet = curve[0].cycles
     return PeriodicTask(
         name=program.name,
@@ -150,7 +155,8 @@ def build_tasks(
         **task_kwargs: forwarded to :func:`build_task`.
     """
     jobs = [(p, task_kwargs) for p in programs]
-    return parallel_map(_build_task_job, jobs, workers, label="task builds")
+    with obs.span("identify.batch", tasks=len(jobs), workers=workers or 0):
+        return parallel_map(_build_task_job, jobs, workers, label="task builds")
 
 
 def build_task_set(
@@ -190,20 +196,22 @@ def customize(
         A :class:`CustomizationResult`.
     """
     u_before = task_set.utilization
-    if policy == "edf":
-        sel: EdfSelection | RmsSelection = select_edf(task_set, area_budget)
-        area = sel.area
-    elif policy == "rms":
-        sel = select_rms(task_set, area_budget)
-        area = sel.area if sel.assignment is not None else 0.0
-    else:
-        raise ScheduleError(f"unknown policy {policy!r}; use 'edf' or 'rms'")
+    with obs.span("select", policy=policy, tasks=len(task_set)):
+        if policy == "edf":
+            sel: EdfSelection | RmsSelection = select_edf(task_set, area_budget)
+            area = sel.area
+        elif policy == "rms":
+            sel = select_rms(task_set, area_budget)
+            area = sel.area if sel.assignment is not None else 0.0
+        else:
+            raise ScheduleError(f"unknown policy {policy!r}; use 'edf' or 'rms'")
     robust: bool | None = None
     if check_single_fault and sel.assignment is not None:
         # Imported lazily: repro.faults composes over this module.
         from repro.faults.degraded import single_fault_report
 
-        robust = single_fault_report(task_set, sel.assignment, policy).robust
+        with obs.span("validate", kind="single_fault", policy=policy):
+            robust = single_fault_report(task_set, sel.assignment, policy).robust
     return CustomizationResult(
         policy=policy,
         utilization_before=u_before,

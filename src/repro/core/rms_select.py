@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import cache
+from repro import cache, obs
 from repro.errors import ScheduleError
 from repro.rtsched.rms import rms_points, rms_task_load
 from repro.rtsched.task import TaskSet
@@ -186,7 +186,9 @@ def select_rms(
         costs[i] = 0.0
         costs_arr[i] = 0.0
 
-    search(0, 0.0, area_budget)
+    with obs.span("select.rms", tasks=n, engine=engine):
+        search(0, 0.0, area_budget)
+    obs.inc("selection.rms.nodes_visited", visited)
 
     if incumbent is None:
         result = RmsSelection(

@@ -12,7 +12,7 @@ sweeps that revisit the same program skip enumeration entirely.
 
 from __future__ import annotations
 
-from repro import cache
+from repro import cache, obs
 from repro.enumeration.mimo import enumerate_connected
 from repro.enumeration.patterns import CandidateLibrary, make_candidate
 from repro.graphs.program import Program
@@ -101,38 +101,49 @@ def build_candidate_library(
     freq = program.profile()
     blocks = program.basic_blocks
     library = CandidateLibrary()
-    for i in hot_block_indices(program, hot_threshold):
-        dfg = blocks[i].dfg
-        node_sets = enumerate_connected(
-            dfg,
-            max_inputs=max_inputs,
-            max_outputs=max_outputs,
-            max_size=max_size,
-            max_candidates=max_candidates_per_block,
-            engine=engine,
-            stats=stats,
-        )
-        if include_disconnected:
-            from repro.enumeration.disconnected import pair_disconnected
-
-            node_sets = node_sets + pair_disconnected(
+    enum_stats: dict = stats if stats is not None else {}
+    before = {k: enum_stats.get(k, 0) for k in (
+        "visited", "feasible", "pruned_visit_budget", "pruned_inputs",
+        "pruned_outputs",
+    )}
+    with obs.span("identify.enumerate", program=program.name, engine=engine):
+        for i in hot_block_indices(program, hot_threshold):
+            dfg = blocks[i].dfg
+            node_sets = enumerate_connected(
                 dfg,
-                node_sets[: max(20, max_disconnected_per_block // 4)],
                 max_inputs=max_inputs,
                 max_outputs=max_outputs,
-                max_pairs=max_disconnected_per_block,
+                max_size=max_size,
+                max_candidates=max_candidates_per_block,
+                engine=engine,
+                stats=enum_stats,
             )
-        for nodes in node_sets:
-            cand = make_candidate(
-                dfg,
-                nodes,
-                block_index=i,
-                frequency=freq.get(i, 0.0),
-                model=model,
-            )
-            if cand.total_gain > 0:
-                library.add(cand)
+            if include_disconnected:
+                from repro.enumeration.disconnected import pair_disconnected
+
+                node_sets = node_sets + pair_disconnected(
+                    dfg,
+                    node_sets[: max(20, max_disconnected_per_block // 4)],
+                    max_inputs=max_inputs,
+                    max_outputs=max_outputs,
+                    max_pairs=max_disconnected_per_block,
+                )
+            for nodes in node_sets:
+                cand = make_candidate(
+                    dfg,
+                    nodes,
+                    block_index=i,
+                    frequency=freq.get(i, 0.0),
+                    model=model,
+                )
+                if cand.total_gain > 0:
+                    library.add(cand)
+    for k, v0 in before.items():
+        delta = enum_stats.get(k, 0) - v0
+        if delta:
+            obs.inc(f"enumeration.{k}", delta)
     ordered = sorted(library, key=lambda c: (-c.total_gain, c.area))
+    obs.inc("enumeration.candidates_kept", len(ordered))
     if use_cache and key is not None:
         cache.store_candidates(key, ordered)
     return CandidateLibrary(ordered)

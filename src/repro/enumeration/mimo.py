@@ -80,6 +80,10 @@ def enumerate_connected(
             subgraphs within the same budget.
         stats: optional dict; when given, ``"visited"`` and ``"feasible"``
             counters are accumulated into it (for the benchmark harness).
+            The bitset engine additionally accumulates per-constraint prune
+            counters: ``"pruned_visit_budget"`` (visit-budget cuts),
+            ``"pruned_inputs"`` (monotone input-bound cuts) and
+            ``"pruned_outputs"`` (output-port rejections).
 
     Returns:
         Feasible candidate node sets, largest first.
@@ -221,6 +225,10 @@ def _enumerate_bitset(
     visited = 0
     found = 0
     all_visited = 0
+    # Prune accounting per constraint (local ints: near-free on the DFS).
+    cut_budget = 0
+    cut_inputs = 0
+    cut_outputs = 0
 
     def extend(
         sub: int,
@@ -237,9 +245,11 @@ def _enumerate_bitset(
     ) -> bool:
         """Returns False when this root's visit or candidate cap is hit."""
         nonlocal visited, found, all_visited
+        nonlocal cut_budget, cut_inputs, cut_outputs
         visited += 1
         all_visited += 1
         if visited > per_root_budget:
+            cut_budget += 1
             return False
         outside = full & ~sub
         ext_producers = pred_union & outside
@@ -247,6 +257,7 @@ def _enumerate_bitset(
         # subgraph (invalid or below the root) and live-in operands only
         # accumulate along this branch — cut it once they exceed the limit.
         if (ext_producers & never).bit_count() + live_ins > max_inputs:
+            cut_inputs += 1
             return True
         if (
             size >= min_size
@@ -268,6 +279,8 @@ def _enumerate_bitset(
                 found += 1
                 if found >= per_root_cap or len(feasible) >= max_candidates:
                     return False
+            else:
+                cut_outputs += 1
         if size >= max_size:
             return True
         while extension:
@@ -327,6 +340,11 @@ def _enumerate_bitset(
     if stats is not None:
         stats["visited"] = stats.get("visited", 0) + all_visited
         stats["feasible"] = stats.get("feasible", 0) + len(feasible)
+        stats["pruned_visit_budget"] = (
+            stats.get("pruned_visit_budget", 0) + cut_budget
+        )
+        stats["pruned_inputs"] = stats.get("pruned_inputs", 0) + cut_inputs
+        stats["pruned_outputs"] = stats.get("pruned_outputs", 0) + cut_outputs
     masks_to_sets = {s for s in feasible}
     unique = [
         frozenset(n for n in range(full.bit_length()) if s >> n & 1)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.flow import customize
 from repro.faults.degraded import cross_validate_single_fault
 from repro.faults.model import CONTAINMENT_POLICIES, FaultModel
@@ -122,67 +123,71 @@ def sweep_faults(
         "engine": engine,
         "policies": [],
     }
-    for policy in policies:
-        sim_policy = "rm" if policy == "rms" else policy
-        selection = customize(task_set, budget, policy=policy)
-        entry: dict = {
-            "policy": policy,
-            "schedulable": selection.schedulable,
-            "utilization_before": selection.utilization_before,
-            "utilization_after": selection.utilization_after,
-            "assignment": (
-                None
-                if selection.assignment is None
-                else list(selection.assignment)
-            ),
-        }
-        if not selection.schedulable:
-            # Nothing to degrade: the nominal selection already fails.
-            entry["single_cfu_failure"] = None
-            entry["scenarios"] = []
-            report["policies"].append(entry)
-            continue
-        assignment = list(selection.assignment)
-        modes = []
-        robust = True
-        all_agree = True
-        for i, task in enumerate(task_set.tasks):
-            verdict, sim, agree = cross_validate_single_fault(
-                task_set, assignment, policy, i, engine=engine, horizon=horizon
-            )
-            robust = robust and verdict.schedulable
-            all_agree = all_agree and agree
-            modes.append(
-                {
-                    "fault_task": i,
-                    "task": task.name,
-                    "schedulable": verdict.schedulable,
-                    "utilization": verdict.utilization,
-                    "worst_load": verdict.worst_load,
-                    "sim_schedulable": sim.schedulable,
-                    "sim_agrees": agree,
+    with obs.span("faults.sweep", tasks=len(task_set), engine=engine):
+        for policy in policies:
+            sim_policy = "rm" if policy == "rms" else policy
+            with obs.span("faults.policy", policy=policy):
+                selection = customize(task_set, budget, policy=policy)
+                entry: dict = {
+                    "policy": policy,
+                    "schedulable": selection.schedulable,
+                    "utilization_before": selection.utilization_before,
+                    "utilization_after": selection.utilization_after,
+                    "assignment": (
+                        None
+                        if selection.assignment is None
+                        else list(selection.assignment)
+                    ),
                 }
-            )
-        entry["single_cfu_failure"] = {
-            "robust": robust,
-            "sim_agrees_all": all_agree,
-            "modes": modes,
-        }
-        entry["scenarios"] = [
-            _scenario_record(
-                sc.name,
-                sc.containment,
-                simulate_taskset(
-                    task_set,
-                    assignment=assignment,
-                    policy=sim_policy,
-                    engine=engine,
-                    horizon=horizon,
-                    faults=sc.faults,
-                    containment=sc.containment,
-                ),
-            )
-            for sc in scenarios
-        ]
-        report["policies"].append(entry)
+                if not selection.schedulable:
+                    # Nothing to degrade: the nominal selection already fails.
+                    entry["single_cfu_failure"] = None
+                    entry["scenarios"] = []
+                    report["policies"].append(entry)
+                    continue
+                assignment = list(selection.assignment)
+                modes = []
+                robust = True
+                all_agree = True
+                with obs.span("validate", kind="single_fault", policy=policy):
+                    for i, task in enumerate(task_set.tasks):
+                        verdict, sim, agree = cross_validate_single_fault(
+                            task_set, assignment, policy, i,
+                            engine=engine, horizon=horizon,
+                        )
+                        robust = robust and verdict.schedulable
+                        all_agree = all_agree and agree
+                        modes.append(
+                            {
+                                "fault_task": i,
+                                "task": task.name,
+                                "schedulable": verdict.schedulable,
+                                "utilization": verdict.utilization,
+                                "worst_load": verdict.worst_load,
+                                "sim_schedulable": sim.schedulable,
+                                "sim_agrees": agree,
+                            }
+                        )
+                entry["single_cfu_failure"] = {
+                    "robust": robust,
+                    "sim_agrees_all": all_agree,
+                    "modes": modes,
+                }
+                entry["scenarios"] = []
+                for sc in scenarios:
+                    with obs.span("faults.scenario", name=sc.name, policy=policy):
+                        sim = simulate_taskset(
+                            task_set,
+                            assignment=assignment,
+                            policy=sim_policy,
+                            engine=engine,
+                            horizon=horizon,
+                            faults=sc.faults,
+                            containment=sc.containment,
+                        )
+                    obs.inc("faults.scenarios")
+                    entry["scenarios"].append(
+                        _scenario_record(sc.name, sc.containment, sim)
+                    )
+                report["policies"].append(entry)
     return report

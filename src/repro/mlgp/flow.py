@@ -23,6 +23,7 @@ import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.graphs.program import Block, Program
 from repro.isa.costmodel import DEFAULT_COST_MODEL, HardwareCostModel
 from repro.mlgp.mlgp import mlgp_partition
@@ -157,37 +158,44 @@ def iterative_customization(
     records: list[IterationRecord] = []
     utilization = sum(s.utilization() for s in states)
 
-    for iteration in range(1, max_iterations + 1):
-        if utilization <= u_target + 1e-9:
-            break
-        active = [s for s in states if s.active]
-        if not active:
-            break
-        state = max(active, key=lambda s: s.utilization())
-        delta = (utilization - u_target) * state.period
-        new_cis = _customize_task(
-            state,
-            delta,
-            max_inputs,
-            max_outputs,
-            model,
-            path_weight_coverage,
-            seed + iteration,
-        )
-        if new_cis:
-            cis.extend(new_cis)
-        else:
-            state.active = False
-        utilization = sum(s.utilization() for s in states)
-        records.append(
-            IterationRecord(
-                iteration=iteration,
-                task=state.program.name,
-                utilization=utilization,
-                new_cis=len(new_cis),
-                elapsed=time.perf_counter() - start,
+    with obs.span("mlgp.iterative", tasks=len(states), target=u_target) as top:
+        for iteration in range(1, max_iterations + 1):
+            if utilization <= u_target + 1e-9:
+                break
+            active = [s for s in states if s.active]
+            if not active:
+                break
+            state = max(active, key=lambda s: s.utilization())
+            delta = (utilization - u_target) * state.period
+            with obs.span(
+                "mlgp.iteration", task=state.program.name, iteration=iteration
+            ):
+                new_cis = _customize_task(
+                    state,
+                    delta,
+                    max_inputs,
+                    max_outputs,
+                    model,
+                    path_weight_coverage,
+                    seed + iteration,
+                )
+            if new_cis:
+                cis.extend(new_cis)
+            else:
+                state.active = False
+            utilization = sum(s.utilization() for s in states)
+            records.append(
+                IterationRecord(
+                    iteration=iteration,
+                    task=state.program.name,
+                    utilization=utilization,
+                    new_cis=len(new_cis),
+                    elapsed=time.perf_counter() - start,
+                )
             )
-        )
+        top.set(iterations=len(records), custom_instructions=len(cis))
+    obs.inc("mlgp.iterations", len(records))
+    obs.inc("mlgp.custom_instructions", len(cis))
     return IterativeResult(
         records=records,
         custom_instructions=cis,
@@ -286,6 +294,20 @@ def mlgp_program_profile(
     region the cumulative application speedup ``SW / HW`` and the cumulative
     hardware area are recorded.
     """
+    with obs.span("mlgp.profile", program=program.name):
+        return _mlgp_program_profile(
+            program, max_inputs, max_outputs, model, seed, time_budget
+        )
+
+
+def _mlgp_program_profile(
+    program: Program,
+    max_inputs: int,
+    max_outputs: int,
+    model: HardwareCostModel,
+    seed: int,
+    time_budget: float | None,
+) -> list[ProfileStep]:
     start = time.perf_counter()
     freq = program.profile()
     blocks = program.basic_blocks

@@ -27,6 +27,7 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro import obs
 from repro.mtreconfig.model import MTSolution, ReconfigTask, effective_utilization
 from repro.mtreconfig.static import static_solution
 
@@ -87,6 +88,18 @@ def dp_solution(
     """
     start = time.perf_counter()
 
+    with obs.span("mtreconfig.dp", tasks=len(tasks)):
+        return _dp_solution(tasks, fabric_area, rho, scale, max_steps, start)
+
+
+def _dp_solution(
+    tasks: Sequence[ReconfigTask],
+    fabric_area: float,
+    rho: float,
+    scale: int,
+    max_steps: int,
+    start: float,
+) -> DpReport:
     # Case 1: single configuration, no reconfiguration cost.
     static = static_solution(
         tasks, fabric_area, rho=rho, scale=scale, max_steps=max_steps

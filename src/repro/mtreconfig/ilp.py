@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from repro import obs
 from repro.errors import SolverError
 from repro.mtreconfig.dp import _pack_first_fit
 from repro.mtreconfig.model import MTSolution, ReconfigTask, effective_utilization
@@ -67,6 +68,20 @@ def ilp_solution(
             ``enforce_deadline``).
     """
     start = time.perf_counter()
+    with obs.span("mtreconfig.ilp", tasks=len(tasks)):
+        return _ilp_solution(
+            tasks, fabric_area, rho, enforce_deadline, time_limit, start
+        )
+
+
+def _ilp_solution(
+    tasks: Sequence[ReconfigTask],
+    fabric_area: float,
+    rho: float,
+    enforce_deadline: bool,
+    time_limit: float | None,
+    start: float,
+) -> IlpReport:
     n = len(tasks)
     # Variable layout: x_{i,j} for usable versions, then w_{i,j} mirrors of
     # hardware x variables, then z last.

@@ -13,6 +13,7 @@ from math import gcd
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ScheduleError
 from repro.mtreconfig.model import MTSolution, ReconfigTask, effective_utilization
 
@@ -53,6 +54,17 @@ def static_solution(
     """
     if fabric_area < 0:
         raise ScheduleError("fabric area must be non-negative")
+    with obs.span("mtreconfig.static", tasks=len(tasks)):
+        return _static_solution(tasks, fabric_area, rho, scale, max_steps)
+
+
+def _static_solution(
+    tasks: Sequence[ReconfigTask],
+    fabric_area: float,
+    rho: float,
+    scale: int,
+    max_steps: int,
+) -> MTSolution:
     areas = [v.area for t in tasks for v in t.versions]
     q = _quantum(areas, max(fabric_area, 1e-9), scale, max_steps)
     cap = int(round(fabric_area * scale)) // q

@@ -11,13 +11,26 @@ reconfiguration searches fan independent jobs out over a
   :class:`~concurrent.futures.BrokenExecutor` on the affected futures.
 * A pool can wedge; an optional per-map ``timeout=`` bounds the wait.
 
-In every case the jobs that did not finish in the pool are retried
-serially in the parent, so the batch always completes with the same
-results a serial run would produce.  Silently ignoring the user's
-``--workers`` request makes perf investigations confusing, so each
-degradation is logged once per process, naming the failure.  Exceptions
-raised by the job function itself are *not* swallowed — they propagate
-exactly as they would serially.
+Jobs that did not finish in the pool are retried serially in the parent,
+so a *broken* pool always yields the same results a serial run would
+produce.  A *timed-out* map is different: ``timeout=`` is an overall
+deadline for the whole call — pending futures are cancelled, the serial
+retry runs only inside the remaining budget, and when the budget is
+exhausted with jobs still unfinished a :class:`TimeoutError` is raised (a
+timeout that silently doubles is not a timeout).  Exceptions raised by the
+job function itself are *not* swallowed — they propagate exactly as they
+would serially.
+
+Every degradation is logged once per observability epoch
+(:func:`repro.obs.warn_once`; re-armed by :func:`repro.obs.reset`) and
+counted on the metrics registry regardless of logging:
+``parallel.pool_failures``, ``parallel.timeouts``,
+``parallel.serial_retries``, ``parallel.retry_deadline_exceeded``.
+
+When tracing is enabled in the parent (:func:`repro.obs.enable_tracing`),
+pool jobs are wrapped so each worker captures its own spans and metric
+deltas; the parent merges them back into one trace/metrics view
+(:func:`repro.obs.merge_payload`).
 
 Setting the ``REPRO_NO_PROCESS_POOL`` environment variable (to anything
 non-empty) forces every map serial — the chaos-test knob for running the
@@ -28,9 +41,12 @@ from __future__ import annotations
 
 import logging
 import os
-import threading
+import time
 from collections.abc import Callable, Iterable, Sequence
+from functools import partial
 from typing import Any, TypeVar
+
+from repro import obs
 
 __all__ = ["parallel_map"]
 
@@ -41,20 +57,17 @@ _R = TypeVar("_R")
 #: pool-hostile environments).
 _ENV_NO_POOL = "REPRO_NO_PROCESS_POOL"
 
-logger = logging.getLogger("repro.parallel")
+#: Warn-once key for the degradation warning (one log line per obs epoch).
+_WARN_KEY = "parallel.degraded"
 
-_warned = False
-_warn_lock = threading.Lock()
+logger = logging.getLogger("repro.parallel")
 
 _MISSING = object()
 
 
 def _warn_once(exc: BaseException, label: str, retried: int = 0) -> None:
-    global _warned
-    with _warn_lock:
-        if _warned:
-            return
-        _warned = True
+    if not obs.warn_once(_WARN_KEY):
+        return
     if retried:
         logger.warning(
             "process pool failed mid-map (%s: %s); retrying %d unfinished "
@@ -75,10 +88,16 @@ def _warn_once(exc: BaseException, label: str, retried: int = 0) -> None:
 
 
 def _reset_warning() -> None:
-    """Re-arm the one-shot degradation warning (test hook)."""
-    global _warned
-    with _warn_lock:
-        _warned = False
+    """Re-arm the per-epoch degradation warning (test hook)."""
+    obs.rearm_warning(_WARN_KEY)
+
+
+def _captured_job(fn: Callable[[_T], _R], job: _T) -> tuple[_R, dict]:
+    """Pool-worker wrapper: run *fn* and ship the worker's observability
+    payload (spans + metric deltas) back with the result."""
+    obs.begin_child_capture()
+    result = fn(job)
+    return result, obs.end_child_capture()
 
 
 def parallel_map(
@@ -99,43 +118,60 @@ def parallel_map(
             without process support) or breaks mid-map
             (:class:`~concurrent.futures.BrokenExecutor`: a worker was
             OOM-killed or segfaulted), the jobs that did not complete in
-            the pool are retried serially and a one-shot warning names
-            the failure.  Exceptions raised by *fn* itself propagate.
+            the pool are retried serially and a warning (once per obs
+            epoch) names the failure.  Exceptions raised by *fn* itself
+            propagate.
         label: what the jobs are, for the degradation warning.
-        timeout: optional overall deadline (seconds) for the parallel
-            attempt; on expiry the remaining jobs degrade to serial
-            execution in the parent (the pool is abandoned without
-            waiting on it).
+        timeout: optional overall deadline (seconds) for the whole call.
+            On expiry the still-pending futures are cancelled, the pool is
+            abandoned without waiting on it, and unfinished jobs are
+            retried serially **within the remaining budget**; if the
+            budget runs out with jobs still unfinished, a
+            :class:`TimeoutError` is raised naming the shortfall.
 
     Returns:
         ``[fn(j) for j in jobs]``.
     """
     job_list: Sequence[Any] = list(jobs)
     n = len(job_list)
+    deadline = time.monotonic() + timeout if timeout is not None else None
     use_pool = (
         workers is not None
         and workers > 1
         and n > 1
         and not os.environ.get(_ENV_NO_POOL)
     )
+    obs.inc("parallel.maps")
     results: list[Any] = [_MISSING] * n
+    timed_out = False
     if use_pool:
         from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, wait
 
+        capture = obs.tracing_enabled()
+        task: Callable[[Any], Any] = (
+            partial(_captured_job, fn) if capture else fn
+        )
         pool = None
         failure: BaseException | None = None
-        timed_out = False
         try:
             pool = ProcessPoolExecutor(max_workers=workers)
-            futures = [pool.submit(fn, job) for job in job_list]
+            futures = [pool.submit(task, job) for job in job_list]
             done, pending = wait(futures, timeout=timeout)
             timed_out = bool(pending)
+            # Cancel what never started: a cancelled queued future will not
+            # run behind our back while the parent retries it serially.
+            for fut in pending:
+                fut.cancel()
             for i, fut in enumerate(futures):
                 if fut not in done:
                     continue
                 exc = fut.exception()
                 if exc is None:
-                    results[i] = fut.result()
+                    if capture:
+                        results[i], payload = fut.result()
+                        obs.merge_payload(payload)
+                    else:
+                        results[i] = fut.result()
                 elif isinstance(exc, (BrokenExecutor, OSError, PermissionError)):
                     # Infrastructure failure on this job; retry it serially.
                     failure = exc
@@ -151,8 +187,12 @@ def parallel_map(
                 pool.shutdown(wait=False, cancel_futures=True)
         unfinished = sum(1 for r in results if r is _MISSING)
         if failure is not None:
+            obs.inc("parallel.pool_failures")
+            obs.inc("parallel.serial_retries", unfinished)
             _warn_once(failure, label, retried=unfinished)
         elif timed_out:
+            obs.inc("parallel.timeouts")
+            obs.inc("parallel.serial_retries", unfinished)
             _warn_once(
                 TimeoutError(f"parallel map exceeded timeout={timeout}s"),
                 label,
@@ -160,5 +200,12 @@ def parallel_map(
             )
     for i, r in enumerate(results):
         if r is _MISSING:
+            if deadline is not None and time.monotonic() >= deadline:
+                left = sum(1 for r2 in results if r2 is _MISSING)
+                obs.inc("parallel.retry_deadline_exceeded")
+                raise TimeoutError(
+                    f"{label}: timeout={timeout}s exhausted with {left} of "
+                    f"{n} jobs unfinished"
+                )
             results[i] = fn(job_list[i])
     return results

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import cache
+from repro import cache, obs
 from repro.errors import ReproError
 from repro.pareto.front import ParetoPoint, pareto_filter
 
@@ -203,24 +203,26 @@ def exact_utilization_curve(
         cached = cache.fetch_pareto(key)
         if cached is not None:
             return _points_from_jsonable(cached)
-    if engine == "merge":
-        curve = _merge_curve(tasks)
-    else:
-        costs = [list(t.areas) for t in tasks]
-        cap = sum(max(c) for c in costs)
-        best, picks = _multichoice_dp(tasks, costs, cap)
-        points = []
-        for j in range(cap + 1):
-            if not math.isfinite(best[j]):
-                continue
-            points.append(
-                ParetoPoint(
-                    value=float(best[j]),
-                    cost=float(j),
-                    choice=_backtrack(tasks, costs, picks, j),
+    with obs.span("pareto.exact", tasks=len(tasks), engine=engine) as sp:
+        if engine == "merge":
+            curve = _merge_curve(tasks)
+        else:
+            costs = [list(t.areas) for t in tasks]
+            cap = sum(max(c) for c in costs)
+            best, picks = _multichoice_dp(tasks, costs, cap)
+            points = []
+            for j in range(cap + 1):
+                if not math.isfinite(best[j]):
+                    continue
+                points.append(
+                    ParetoPoint(
+                        value=float(best[j]),
+                        cost=float(j),
+                        choice=_backtrack(tasks, costs, picks, j),
+                    )
                 )
-            )
-        curve = pareto_filter(points)
+            curve = pareto_filter(points)
+        sp.set(points=len(curve))
     if key is not None:
         cache.store_pareto(key, _points_to_jsonable(curve))
     return curve
@@ -242,52 +244,62 @@ def approx_utilization_curve(
         cached = cache.fetch_pareto(key)
         if cached is not None:
             return _points_from_jsonable(cached)
-    eps_prime = math.sqrt(1.0 + eps) - 1.0
-    n_options = sum(len(t.areas) for t in tasks)
-    total_cost = sum(max(t.areas) for t in tasks)
-    points: list[ParetoPoint] = []
-    # Zero-cost solution: every task at its cheapest (software) option.
-    u0 = 0.0
-    choice0 = []
-    for t in tasks:
-        k = min(range(len(t.areas)), key=lambda k: (t.areas[k], t.workloads[k]))
-        u0 += t.utilizations[k]
-        choice0.append(k)
-    points.append(ParetoPoint(value=u0, cost=0.0, choice=tuple(choice0)))
-    if total_cost == 0:
-        return pareto_filter(points)
+    with obs.span("pareto.approx", tasks=len(tasks), eps=eps) as sp:
+        eps_prime = math.sqrt(1.0 + eps) - 1.0
+        n_options = sum(len(t.areas) for t in tasks)
+        total_cost = sum(max(t.areas) for t in tasks)
+        points: list[ParetoPoint] = []
+        # Zero-cost solution: every task at its cheapest (software) option.
+        u0 = 0.0
+        choice0 = []
+        for t in tasks:
+            k = min(
+                range(len(t.areas)), key=lambda k: (t.areas[k], t.workloads[k])
+            )
+            u0 += t.utilizations[k]
+            choice0.append(k)
+        points.append(ParetoPoint(value=u0, cost=0.0, choice=tuple(choice0)))
+        if total_cost == 0:
+            return pareto_filter(points)
 
-    r = math.ceil(n_options / eps_prime)
-    b = 1.0
-    coords: list[float] = []
-    while b <= total_cost:
-        coords.append(b)
-        b *= 1.0 + eps_prime
-    for coord in coords:
-        scaled = [
-            [math.ceil(a * r / coord) for a in t.areas] for t in tasks
-        ]
-        best, picks = _multichoice_dp(tasks, scaled, r)
-        j = int(np.argmin(best))
-        if not math.isfinite(best[j]):
-            continue
-        choice = _backtrack(tasks, scaled, picks, j)
-        # Report the solution's true cost (property (a) bounds it by coord).
-        true_cost = sum(t.areas[k] for t, k in zip(tasks, choice))
+        r = math.ceil(n_options / eps_prime)
+        b = 1.0
+        coords: list[float] = []
+        while b <= total_cost:
+            coords.append(b)
+            b *= 1.0 + eps_prime
+        for coord in coords:
+            scaled = [
+                [math.ceil(a * r / coord) for a in t.areas] for t in tasks
+            ]
+            best, picks = _multichoice_dp(tasks, scaled, r)
+            j = int(np.argmin(best))
+            if not math.isfinite(best[j]):
+                continue
+            choice = _backtrack(tasks, scaled, picks, j)
+            # Report the solution's true cost (property (a) bounds it by coord).
+            true_cost = sum(t.areas[k] for t, k in zip(tasks, choice))
+            points.append(
+                ParetoPoint(
+                    value=float(best[j]), cost=float(true_cost), choice=choice
+                )
+            )
+        # Exact full-cost corner: every task at its fastest option.
+        u_full, cost_full, choice_full = 0.0, 0.0, []
+        for t in tasks:
+            k = min(
+                range(len(t.areas)), key=lambda k: (t.workloads[k], t.areas[k])
+            )
+            u_full += t.utilizations[k]
+            cost_full += t.areas[k]
+            choice_full.append(k)
         points.append(
-            ParetoPoint(value=float(best[j]), cost=float(true_cost), choice=choice)
+            ParetoPoint(
+                value=u_full, cost=float(cost_full), choice=tuple(choice_full)
+            )
         )
-    # Exact full-cost corner: every task at its fastest option.
-    u_full, cost_full, choice_full = 0.0, 0.0, []
-    for t in tasks:
-        k = min(range(len(t.areas)), key=lambda k: (t.workloads[k], t.areas[k]))
-        u_full += t.utilizations[k]
-        cost_full += t.areas[k]
-        choice_full.append(k)
-    points.append(
-        ParetoPoint(value=u_full, cost=float(cost_full), choice=tuple(choice_full))
-    )
-    curve = pareto_filter(points)
+        curve = pareto_filter(points)
+        sp.set(points=len(curve))
     if key is not None:
         cache.store_pareto(key, _points_to_jsonable(curve))
     return curve

@@ -27,7 +27,7 @@ import hashlib
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro import cache
+from repro import cache, obs
 from repro.errors import ReproError
 from repro.parallel import parallel_map
 from repro.reconfig.kwaypart import kway_partition
@@ -157,6 +157,19 @@ def _solutions_for_k(
     candidate followed by its pruned variant when it differs), so folding
     the lists for ascending ``k`` reproduces the sequential search.
     """
+    with obs.span("reconfig.k", k=k, loops=len(loops)):
+        return _solutions_for_k_body(loops, trace, max_area, rho, seed, prune, k)
+
+
+def _solutions_for_k_body(
+    loops: Sequence[HotLoop],
+    trace: Sequence[int],
+    max_area: float,
+    rho: float,
+    seed: int,
+    prune: bool,
+    k: int,
+) -> list[PartitionSolution]:
     n = len(loops)
     # Phase 1: global spatial partitioning over continuous area k*MaxA.
     selection, _ = spatial_select(loops, k * max_area)
@@ -295,28 +308,33 @@ def iterative_partition(
         (tuple(loops), tuple(trace), max_area, rho, seed, prune, k)
         for k in range(1, limit + 1)
     ]
-    if workers is not None and workers > 1 and limit > 1:
-        per_k = parallel_map(_k_job, jobs, workers, label="partition candidates")
-    else:
-        # Lazy generator: the serial path keeps skipping the k values the
-        # early exits below would never have computed.
-        per_k = (_k_job(j) for j in jobs)
+    with obs.span("reconfig.partition", loops=n, max_k=limit):
+        if workers is not None and workers > 1 and limit > 1:
+            per_k = parallel_map(
+                _k_job, jobs, workers, label="partition candidates"
+            )
+        else:
+            # Lazy generator: the serial path keeps skipping the k values the
+            # early exits below would never have computed.
+            per_k = (_k_job(j) for j in jobs)
 
-    best: PartitionSolution | None = None
-    best_total_gain = sum(lp.versions[lp.best_version].gain for lp in loops)
-    for solutions in per_k:
-        for sol in solutions:
-            if best is None or sol.gain > best.gain:
-                best = sol
-        # Early exit: every loop already at its best version.
-        if best is not None and all(
-            best.partition.selection[i] == loops[i].best_version
-            for i in range(n)
-        ):
-            break
-        if best is not None and best.gain >= best_total_gain:
-            break
-    assert best is not None
+        best: PartitionSolution | None = None
+        best_total_gain = sum(
+            lp.versions[lp.best_version].gain for lp in loops
+        )
+        for solutions in per_k:
+            for sol in solutions:
+                if best is None or sol.gain > best.gain:
+                    best = sol
+            # Early exit: every loop already at its best version.
+            if best is not None and all(
+                best.partition.selection[i] == loops[i].best_version
+                for i in range(n)
+            ):
+                break
+            if best is not None and best.gain >= best_total_gain:
+                break
+        assert best is not None
     if key is not None:
         cache.store_partition(
             key,

@@ -8,7 +8,14 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-__all__ = ["format_table", "sparkline", "format_curve", "format_fault_report"]
+__all__ = [
+    "format_table",
+    "sparkline",
+    "format_curve",
+    "format_fault_report",
+    "format_metrics",
+    "format_trace_summary",
+]
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
 
@@ -137,4 +144,132 @@ def format_fault_report(report: dict) -> str:
                     for s in entry["scenarios"]
                 ],
             ))
+    return "\n".join(lines)
+
+
+def _cache_ratio_rows(counters: dict) -> list[tuple[str, int, int, int, str]]:
+    """Per-kind (hits, misses, disk hits, ratio) rows derived from the
+    ``cache.<kind>.hits`` / ``.misses`` / ``.disk_hits`` counters."""
+    kinds = sorted(
+        {
+            k.split(".")[1]
+            for k in counters
+            if k.startswith("cache.")
+            and k.count(".") == 2
+            and k.rsplit(".", 1)[1] in ("hits", "misses", "disk_hits")
+        }
+    )
+    rows = []
+    for kind in kinds:
+        hits = counters.get(f"cache.{kind}.hits", 0)
+        misses = counters.get(f"cache.{kind}.misses", 0)
+        disk = counters.get(f"cache.{kind}.disk_hits", 0)
+        total = hits + misses
+        ratio = f"{hits / total:.1%}" if total else "-"
+        rows.append((kind, hits, misses, disk, ratio))
+    return rows
+
+
+def format_metrics(snapshot: dict) -> str:
+    """Render an :func:`repro.obs.metrics_snapshot` as aligned tables.
+
+    Sections: counters, gauges, histograms (count/total/min/max), and cache
+    hit ratios derived from the ``cache.<kind>.*`` counters.
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    lines = ["metrics"]
+    if counters:
+        lines.append(format_table(
+            ["counter", "value"], sorted(counters.items())
+        ))
+    if gauges:
+        lines.append("")
+        lines.append(format_table(["gauge", "value"], sorted(gauges.items())))
+    if histograms:
+        lines.append("")
+        lines.append(format_table(
+            ["histogram", "count", "total", "min", "max"],
+            [
+                (name, h["count"], h["total"], h["min"], h["max"])
+                for name, h in sorted(histograms.items())
+            ],
+        ))
+    cache_rows = _cache_ratio_rows(counters)
+    if cache_rows:
+        lines.append("")
+        lines.append("cache hit ratios:")
+        lines.append(format_table(
+            ["kind", "hits", "misses", "disk hits", "hit ratio"], cache_rows
+        ))
+    if len(lines) == 1:
+        lines.append("  (no metrics recorded)")
+    return "\n".join(lines)
+
+
+def format_trace_summary(
+    spans: Sequence[dict], metrics: dict | None = None, top: int = 10
+) -> str:
+    """Render a trace (from :func:`repro.obs.load_trace`) as a text report.
+
+    Three sections: the per-stage wall-time tree (spans aggregated by their
+    name path root→leaf, with total seconds and call counts), the *top*
+    individual spans by duration, and the metrics block when the trace
+    carried one.
+    """
+    if not spans:
+        return "trace is empty"
+    by_id = {s["id"]: s for s in spans}
+
+    def path_of(s: dict) -> tuple[str, ...]:
+        names: list[str] = []
+        cur: dict | None = s
+        hops = 0
+        while cur is not None and hops < 64:
+            names.append(cur["name"])
+            parent = cur.get("parent")
+            cur = by_id.get(parent) if parent else None
+            hops += 1
+        return tuple(reversed(names))
+
+    agg: dict[tuple[str, ...], list[float]] = {}
+    first_seen: dict[tuple[str, ...], int] = {}
+    for idx, s in enumerate(spans):
+        p = path_of(s)
+        if p not in agg:
+            agg[p] = [0.0, 0]
+            first_seen[p] = idx
+        agg[p][0] += s["dur"]
+        agg[p][1] += 1
+    # Stable tree order: parents before children, siblings by first record.
+    ordered = sorted(agg, key=lambda p: (first_seen[p],))
+    lines = ["per-stage wall time:"]
+    lines.append(format_table(
+        ["stage", "total s", "calls"],
+        [
+            ("  " * (len(p) - 1) + p[-1], round(agg[p][0], 6), agg[p][1])
+            for p in ordered
+        ],
+    ))
+    slowest = sorted(spans, key=lambda s: -s["dur"])[: max(0, top)]
+    if slowest:
+        lines.append("")
+        lines.append(f"top {len(slowest)} spans:")
+        lines.append(format_table(
+            ["span", "dur s", "attrs"],
+            [
+                (
+                    s["name"],
+                    round(s["dur"], 6),
+                    " ".join(
+                        f"{k}={v}" for k, v in sorted(s.get("attrs", {}).items())
+                    ),
+                )
+                for s in slowest
+            ],
+        ))
+    if metrics:
+        lines.append("")
+        lines.append(format_metrics(metrics))
     return "\n".join(lines)

@@ -45,6 +45,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.errors import ScheduleError
 from repro.rtsched.task import TaskSet
 
@@ -193,15 +194,40 @@ def simulate(
             raise ScheduleError("base_costs must align with periods")
     if horizon is None:
         horizon = _default_horizon(periods)
-    if engine == "reference":
-        return _simulate_reference(
+    with obs.span("validate.simulate", policy=policy, engine=engine, tasks=n):
+        if engine == "reference":
+            return _simulate_reference(
+                periods, costs, policy, horizon, stop_on_first_miss,
+                faults, containment, base_costs,
+            )
+        return _simulate_event(
             periods, costs, policy, horizon, stop_on_first_miss,
             faults, containment, base_costs,
         )
-    return _simulate_event(
-        periods, costs, policy, horizon, stop_on_first_miss,
-        faults, containment, base_costs,
-    )
+
+
+def _flush_sim_counters(
+    events: int,
+    preemptions: int,
+    stats: FaultStats | None,
+    missed: list[tuple[int, float]],
+) -> None:
+    """Fold one run's locally-accumulated counters into the obs registry.
+
+    The engines keep plain ints in their hot loops and flush once per run,
+    so the per-event cost of instrumentation is zero.
+    """
+    obs.inc("sim.runs")
+    obs.inc("sim.events", events)
+    obs.inc("sim.preemptions", preemptions)
+    obs.inc("sim.misses", len(missed))
+    if stats is not None:
+        obs.inc("faults.jobs", stats.jobs)
+        obs.inc("faults.faulted", stats.faulted)
+        obs.inc("faults.overruns", stats.overruns)
+        obs.inc("faults.cfu_fallbacks", stats.cfu_fallbacks)
+        obs.inc("faults.jittered", stats.jittered)
+        obs.inc("faults.contained", stats.contained)
 
 
 def _inject_job(
@@ -280,6 +306,8 @@ def _simulate_event(
     )
     time = 0.0
     busy = 0.0
+    events = 0
+    preemptions = 0
     missed: list[tuple[int, float]] = []
     max_response = [0.0] * n
     # Fault-injection state (inert when faults is None: job demands are the
@@ -323,6 +351,7 @@ def _simulate_event(
             push_due(time)
             continue
         job = pop(ready)
+        events += 1
         if edf:
             deadline, task, release, remaining = job
         else:
@@ -349,6 +378,7 @@ def _simulate_event(
                         t_pre = r
         if t_pre < finish:
             # Preempted: bank the span, requeue the remainder, take the batch.
+            preemptions += 1
             run = t_pre - time
             busy += run
             time = t_pre
@@ -385,6 +415,7 @@ def _simulate_event(
             if stop_on_first_miss:
                 missed.sort()
                 aborted.sort()
+                _flush_sim_counters(events, preemptions, stats, missed)
                 return SimulationResult(
                     schedulable=False,
                     missed=missed,
@@ -410,6 +441,7 @@ def _simulate_event(
             missed.append((task, release))
     missed.sort()
     aborted.sort()
+    _flush_sim_counters(events, preemptions, stats, missed)
     return SimulationResult(
         schedulable=not missed,
         missed=missed,
@@ -447,6 +479,8 @@ def _simulate_reference(
     next_release = [0.0] * n
     time = 0.0
     busy = 0.0
+    events = 0
+    preemptions = 0
     missed: list[tuple[int, float]] = []
     max_response = [0.0] * n
     stats = FaultStats() if faults is not None else None
@@ -502,6 +536,7 @@ def _simulate_reference(
         time += run
         busy += run
         job.remaining -= run
+        events += 1
         if job.remaining <= EPS:
             if abort_keys and (job.task, job.release) in abort_keys:
                 abort_keys.discard((job.task, job.release))
@@ -515,6 +550,7 @@ def _simulate_reference(
                 if stop_on_first_miss:
                     missed.sort()
                     aborted.sort()
+                    _flush_sim_counters(events, preemptions, stats, missed)
                     return SimulationResult(
                         schedulable=False,
                         missed=missed,
@@ -525,6 +561,7 @@ def _simulate_reference(
                         fault_stats=stats,
                     )
         else:
+            preemptions += 1
             heapq.heappush(ready, job)
         release_due(time)
 
@@ -534,6 +571,7 @@ def _simulate_reference(
             missed.append((job.task, job.release))
     missed.sort()
     aborted.sort()
+    _flush_sim_counters(events, preemptions, stats, missed)
     return SimulationResult(
         schedulable=not missed,
         missed=missed,

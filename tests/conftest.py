@@ -6,9 +6,22 @@ import random
 
 import pytest
 
+from repro import obs
 from repro.graphs.dfg import DataFlowGraph
 from repro.graphs.program import Block, Loop, Program, Seq
 from repro.isa.opcodes import Opcode
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs_epoch():
+    """Start every test in a fresh observability epoch.
+
+    Zeroed metrics, re-armed one-shot warnings and an empty span buffer
+    make warn-once and counter assertions order-independent across tests.
+    """
+    obs.reset()
+    yield
+    obs.disable_tracing()
 
 
 @pytest.fixture

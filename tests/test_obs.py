@@ -1,0 +1,238 @@
+"""Tests for :mod:`repro.obs` — tracer, metrics registry and warn-once.
+
+Also carries the regression tests for the observability bugfixes: the
+derived ``cache.stats()`` report and the epoch-scoped corrupt-cache
+warning (the parallel-timeout regressions live in
+``test_parallel_robustness.py``).
+"""
+
+from __future__ import annotations
+
+import logging
+from pathlib import Path
+
+import pytest
+
+from repro import cache, obs
+from repro.parallel import parallel_map
+
+
+@pytest.fixture
+def tracing():
+    """Enable tracing for one test and guarantee it is switched back off."""
+    obs.enable_tracing()
+    obs.clear_trace()
+    yield
+    obs.disable_tracing()
+    obs.clear_trace()
+
+
+def _traced_job(x: int) -> int:
+    """Pool-safe job that records one span and one counter per call."""
+    with obs.span("obs-test.child", x=x):
+        pass
+    obs.inc("obs-test.child_jobs")
+    return x + 1
+
+
+class TestSpans:
+    def test_disabled_span_is_shared_noop(self):
+        assert not obs.tracing_enabled()
+        assert obs.span("a") is obs.span("b")
+        with obs.span("ignored", key="value") as sp:
+            sp.set(more="attrs")
+        assert obs.trace_spans() == []
+
+    def test_nesting_parent_links_and_ordering(self, tracing):
+        with obs.span("outer", stage="x"):
+            with obs.span("inner-1"):
+                pass
+            with obs.span("inner-2") as sp:
+                sp.set(points=7)
+        spans = obs.trace_spans()
+        assert [s["name"] for s in spans] == ["outer", "inner-1", "inner-2"]
+        outer, inner1, inner2 = spans
+        assert outer["parent"] is None
+        assert inner1["parent"] == outer["id"]
+        assert inner2["parent"] == outer["id"]
+        assert outer["attrs"] == {"stage": "x"}
+        assert inner2["attrs"] == {"points": 7}
+        # Sorted by start time; durations are non-negative and nested
+        # spans cannot outlast their parent.
+        assert outer["t0"] <= inner1["t0"] <= inner2["t0"]
+        assert all(s["dur"] >= 0.0 for s in spans)
+        assert inner1["dur"] <= outer["dur"]
+
+    def test_sibling_spans_share_no_parent(self, tracing):
+        with obs.span("first"):
+            pass
+        with obs.span("second"):
+            pass
+        first, second = obs.trace_spans()
+        assert first["parent"] is None
+        assert second["parent"] is None
+        assert first["id"] != second["id"]
+
+    def test_name_attribute_does_not_collide(self, tracing):
+        # span() takes its own name positionally-only, so payload attrs
+        # may themselves be called "name".
+        with obs.span("scenario", name="burst"):
+            pass
+        (span,) = obs.trace_spans()
+        assert span["name"] == "scenario"
+        assert span["attrs"] == {"name": "burst"}
+
+    def test_exception_still_closes_span(self, tracing):
+        with pytest.raises(ValueError):
+            with obs.span("doomed"):
+                raise ValueError("boom")
+        (span,) = obs.trace_spans()
+        assert span["name"] == "doomed"
+        assert span["dur"] >= 0.0
+
+
+class TestMetrics:
+    def test_counters_gauges_histograms(self):
+        obs.inc("m.count")
+        obs.inc("m.count", 4)
+        obs.set_gauge("m.gauge", 2.5)
+        obs.set_gauge("m.gauge", 7)
+        for v in (3.0, 1.0, 5.0):
+            obs.observe("m.hist", v)
+        snap = obs.metrics_snapshot()
+        assert snap["counters"]["m.count"] == 5
+        assert snap["gauges"]["m.gauge"] == 7
+        hist = snap["histograms"]["m.hist"]
+        assert hist["count"] == 3
+        assert hist["total"] == 9.0
+        assert hist["min"] == 1.0
+        assert hist["max"] == 5.0
+
+    def test_metrics_work_with_tracing_disabled(self):
+        assert not obs.tracing_enabled()
+        obs.inc("m.always_on")
+        assert obs.metrics_snapshot()["counters"]["m.always_on"] == 1
+
+    def test_reset_clears_state_and_bumps_epoch(self):
+        obs.inc("m.count")
+        obs.set_gauge("m.gauge", 1)
+        obs.observe("m.hist", 1.0)
+        epoch = obs.metrics_snapshot()["epoch"]
+        obs.reset()
+        snap = obs.metrics_snapshot()
+        assert snap["epoch"] == epoch + 1
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+    def test_warn_once_per_epoch(self):
+        assert obs.warn_once("k") is True
+        assert obs.warn_once("k") is False
+        assert obs.warn_once("other") is True
+        obs.rearm_warning("k")
+        assert obs.warn_once("k") is True
+        obs.reset()  # a new epoch re-arms every key
+        assert obs.warn_once("k") is True
+        assert obs.warn_once("other") is True
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tracing, tmp_path):
+        with obs.span("root", kind="demo"):
+            with obs.span("leaf"):
+                pass
+        obs.inc("rt.counter", 3)
+        path = tmp_path / "trace.jsonl"
+        obs.export_trace(path)
+
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3  # two spans + one metrics line
+
+        spans, metrics = obs.load_trace(path)
+        assert [s["name"] for s in spans] == ["root", "leaf"]
+        assert spans[1]["parent"] == spans[0]["id"]
+        assert metrics["counters"]["rt.counter"] == 3
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            obs.load_trace(tmp_path / "absent.jsonl")
+
+
+class TestChildCapture:
+    def test_merge_payload_reparents_and_merges(self, tracing):
+        # Simulate a worker process: capture spans/metrics in a clean
+        # buffer, then merge them back under the parent's open span.
+        obs.begin_child_capture()
+        with obs.span("child-root"):
+            with obs.span("child-leaf"):
+                pass
+        obs.inc("merge.counter", 2)
+        obs.set_gauge("merge.gauge", 1)
+        obs.observe("merge.hist", 4.0)
+        payload = obs.end_child_capture()
+
+        obs.enable_tracing()
+        obs.clear_trace()
+        obs.inc("merge.counter", 1)
+        obs.set_gauge("merge.gauge", 9)
+        obs.observe("merge.hist", 2.0)
+        with obs.span("parent") as sp:
+            del sp
+            obs.merge_payload(payload)
+        spans = {s["name"]: s for s in obs.trace_spans()}
+        assert set(spans) == {"parent", "child-root", "child-leaf"}
+        assert spans["child-root"]["parent"] == spans["parent"]["id"]
+        assert spans["child-leaf"]["parent"] == spans["child-root"]["id"]
+
+        snap = obs.metrics_snapshot()
+        assert snap["counters"]["merge.counter"] == 3  # additive
+        assert snap["gauges"]["merge.gauge"] == 1  # last merge wins
+        hist = snap["histograms"]["merge.hist"]
+        assert hist["count"] == 2
+        assert hist["total"] == 6.0
+        assert hist["min"] == 2.0
+        assert hist["max"] == 4.0
+
+    def test_parallel_map_merges_worker_spans(self, tracing):
+        # Whether the pool runs (child-capture merge) or the map degrades
+        # to serial (spans recorded directly in the parent), every job's
+        # span and counter must land in the parent trace.
+        with obs.span("parent"):
+            out = parallel_map(_traced_job, [1, 2, 3], workers=2)
+        assert out == [2, 3, 4]
+        children = [s for s in obs.trace_spans() if s["name"] == "obs-test.child"]
+        assert len(children) == 3
+        assert sorted(s["attrs"]["x"] for s in children) == [1, 2, 3]
+        assert all(s["parent"] is not None for s in children)
+        assert obs.metrics_snapshot()["counters"]["obs-test.child_jobs"] == 3
+
+
+class TestCacheRegressions:
+    def test_stats_keys_match_registered_kinds(self):
+        stats = cache.stats()
+        assert tuple(sorted(stats)) == cache.registered_kinds()
+        assert len(stats) > 0
+        for row in stats.values():
+            assert set(row) == {"hits", "misses", "size"}
+
+    def test_clear_zeroes_every_counter(self):
+        # Drive at least one kind, then verify clear() zeroes all of them.
+        cache.fetch_candidates("no-such-key")
+        assert any(row["misses"] for row in cache.stats().values())
+        cache.clear()
+        for kind, row in cache.stats().items():
+            assert row == {"hits": 0, "misses": 0, "size": 0}, kind
+
+    def test_corrupt_warning_once_per_epoch_counts_all(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.cache"):
+            cache._warn_corrupt_once(Path("a.json"), "bad checksum")
+            cache._warn_corrupt_once(Path("b.json"), "bad checksum")
+        assert len(caplog.records) == 1  # log-once per epoch
+        assert obs.metrics_snapshot()["counters"]["cache.corrupt_entries"] == 2
+
+        caplog.clear()
+        obs.reset()  # new epoch re-arms the warning
+        with caplog.at_level(logging.WARNING, logger="repro.cache"):
+            cache._warn_corrupt_once(Path("c.json"), "bad checksum")
+        assert len(caplog.records) == 1
+        assert obs.metrics_snapshot()["counters"]["cache.corrupt_entries"] == 1

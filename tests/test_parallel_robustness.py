@@ -13,8 +13,15 @@ import time
 
 import pytest
 
-from repro import parallel
+from repro import obs, parallel
 from repro.parallel import parallel_map
+
+#: The chaos CI job runs the suite with process pools forbidden; tests that
+#: assert on pool-degradation behaviour need a real pool to degrade from.
+needs_pool = pytest.mark.skipif(
+    bool(os.environ.get("REPRO_NO_PROCESS_POOL")),
+    reason="process pools disabled via REPRO_NO_PROCESS_POOL",
+)
 
 
 def _square(x: int) -> int:
@@ -32,6 +39,15 @@ def _slow_in_worker(x: int) -> int:
     """Stalls in a pool worker; returns instantly in the parent."""
     if multiprocessing.parent_process() is not None:
         time.sleep(30.0)
+    return x * 2
+
+
+def _slow_everywhere(x: int) -> int:
+    """Stalls in a pool worker and is slow enough in the parent that a
+    serial retry cannot finish inside an already-exhausted budget."""
+    if multiprocessing.parent_process() is not None:
+        time.sleep(30.0)
+    time.sleep(0.05)
     return x * 2
 
 
@@ -61,6 +77,7 @@ class TestHappyPaths:
 
 
 class TestDegradedPaths:
+    @needs_pool
     def test_worker_crash_retries_serially(self, caplog):
         with caplog.at_level("WARNING", logger="repro.parallel"):
             out = parallel_map(
@@ -70,22 +87,54 @@ class TestDegradedPaths:
         assert any("crashers" in r.message for r in caplog.records)
         assert any("BrokenProcessPool" in r.message for r in caplog.records)
 
+    @needs_pool
     def test_crash_warning_is_one_shot(self, caplog):
         with caplog.at_level("WARNING", logger="repro.parallel"):
             parallel_map(_crash_in_worker, [1, 2], workers=2)
             parallel_map(_crash_in_worker, [3, 4], workers=2)
         assert len(caplog.records) == 1
 
-    def test_timeout_degrades_to_serial(self, caplog):
+    @needs_pool
+    def test_crash_warning_rearmed_by_obs_reset(self, caplog):
+        with caplog.at_level("WARNING", logger="repro.parallel"):
+            parallel_map(_crash_in_worker, [1, 2], workers=2)
+            obs.reset()
+            parallel_map(_crash_in_worker, [3, 4], workers=2)
+        assert len(caplog.records) == 2
+
+    @needs_pool
+    def test_timeout_is_hard_deadline(self, caplog):
+        """An exhausted budget raises instead of silently running serially."""
+        before = obs.metrics_snapshot()["counters"]
         start = time.monotonic()
         with caplog.at_level("WARNING", logger="repro.parallel"):
-            out = parallel_map(
-                _slow_in_worker, [1, 2, 3], workers=2, timeout=0.5,
-                label="sleepers",
-            )
-        assert out == [2, 4, 6]
+            with pytest.raises(TimeoutError, match="sleepers"):
+                parallel_map(
+                    _slow_everywhere, list(range(1, 9)), workers=2,
+                    timeout=0.3, label="sleepers",
+                )
         assert time.monotonic() - start < 25.0  # never waited on the pool
         assert any("timeout" in r.message.lower() for r in caplog.records)
+        after = obs.metrics_snapshot()["counters"]
+        assert after.get("parallel.timeouts", 0) > before.get(
+            "parallel.timeouts", 0
+        )
+        assert after.get("parallel.retry_deadline_exceeded", 0) > before.get(
+            "parallel.retry_deadline_exceeded", 0
+        )
+
+    def test_generous_timeout_completes(self):
+        """A budget that is not exhausted behaves like no timeout at all."""
+        out = parallel_map(_square, [1, 2, 3], workers=2, timeout=60.0)
+        assert out == [1, 4, 9]
+
+    def test_serial_timeout_budget_is_enforced(self):
+        """The deadline also bounds pure-serial maps (workers=None)."""
+        with pytest.raises(TimeoutError, match="unfinished"):
+            parallel_map(
+                _slow_everywhere, list(range(8)), workers=None, timeout=0.12,
+                label="serial sleepers",
+            )
 
     def test_env_kill_switch_forces_serial(self, monkeypatch):
         monkeypatch.setenv("REPRO_NO_PROCESS_POOL", "1")
