@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import functools
 import json
+import os
+import platform
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -41,13 +43,36 @@ def emit(name: str, lines: list[str]) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+#: Version of the shared ``BENCH_*.json`` envelope (``schema_version``,
+#: ``host``, ``metrics`` + bench-specific keys).  Bump when the envelope
+#: itself changes shape.
+BENCH_SCHEMA_VERSION = 2
+
+
+def host_info() -> dict:
+    """Machine fingerprint stored in every ``BENCH_*.json``.
+
+    Timings are only comparable within one host; this records enough to
+    tell apart trajectories from different machines/interpreters.
+    """
+    return {
+        "platform": platform.platform(),
+        "python_version": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def emit_json(name: str, payload: dict) -> Path:
     """Persist a machine-readable result under benchmarks/results/.
 
-    A snapshot of the obs metrics registry rides along under ``metrics``
-    (unless the payload already carries one), so every ``BENCH_*.json``
-    records the cache/enumeration/simulator counters of its run.
+    Every ``BENCH_*.json`` shares one envelope: ``schema_version``, a
+    ``host`` fingerprint and a snapshot of the obs metrics registry under
+    ``metrics`` (each only filled in when the payload does not already
+    carry it), plus the bench-specific keys.
     """
+    payload.setdefault("schema_version", BENCH_SCHEMA_VERSION)
+    payload.setdefault("host", host_info())
     payload.setdefault("metrics", obs.metrics_snapshot())
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"

@@ -1,0 +1,234 @@
+"""Partitioning-layer speed harness (perf trajectory for future PRs).
+
+Times the Chapter 5-7 partitioning stack on the Table 5.1 workload and
+writes ``benchmarks/results/BENCH_partitioning.json``:
+
+* ``mlgp.engine`` — one full region sweep per benchmark, reference vs
+  fast MLGP engine, both cache-cold and cache-free; the engines' results
+  are asserted bit-identical while timing.
+* ``mlgp.pipeline`` — the repeated same-seed sweep the ch5 generation
+  pipeline performs, pre-PR stack (reference engine, no region cache)
+  vs current stack (fast engine + content-keyed ``mlgp`` cache).
+* ``kway`` — reference vs fast k-way refinement on a seeded graph.
+* ``reconfig`` / ``dp`` — cold vs warm content-cache runs of the Ch. 6
+  iterative partitioner and the Ch. 7 DP.
+
+Guards: the MLGP engine alone must be >= 2x; the pipeline layer
+(engine + cache) must be >= 5x on the repeated sweep; warm cache runs
+must beat cold ones.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from benchmarks.common import emit_json
+from repro import cache
+from repro.mlgp import mlgp_fast
+from repro.mlgp.mlgp import mlgp_partition
+from repro.mtreconfig.dp import dp_solution
+from repro.mtreconfig.workload import synthetic_reconfig_tasks
+from repro.reconfig.extract import extract_hot_loops
+from repro.reconfig.iterative import iterative_partition
+from repro.reconfig.kwaypart import kway_partition
+from repro.workloads import get_program
+
+#: The thesis Table 5.1 benchmark set (the MLGP evaluation workload).
+TABLE_5_1 = (
+    "adpcm",
+    "sha",
+    "jfdctint",
+    "g721decode",
+    "lms",
+    "ndes",
+    "rijndael",
+    "3des",
+    "aes",
+    "blowfish",
+)
+
+#: Repetitions of the same-seed sweep in the pipeline-layer comparison.
+PIPELINE_REPS = 3
+
+
+def _region_work(name: str) -> list[tuple[object, tuple, int]]:
+    """(dfg, region, seed) jobs for one benchmark's full region sweep."""
+    prog = get_program(name)
+    work = []
+    for bi, blk in enumerate(prog.basic_blocks):
+        for region in blk.dfg.regions():
+            if len(region) >= 2:
+                work.append((blk.dfg, region, bi))
+    return work
+
+
+def _sweep(work, engine: str, use_cache: bool) -> tuple[float, list]:
+    """Run one region sweep; returns (seconds, results)."""
+    results = []
+    t0 = time.perf_counter()
+    for dfg, region, seed in work:
+        r = mlgp_partition(
+            dfg, region, seed=seed, engine=engine, use_cache=use_cache
+        )
+        results.append((r.partitions, r.gains, r.areas))
+    return time.perf_counter() - t0, results
+
+
+def _bench_mlgp_engine() -> dict:
+    """Engine-pure comparison: reference vs fast, no caches anywhere."""
+    per_benchmark = {}
+    ref_total = fast_total = 0.0
+    for name in TABLE_5_1:
+        work = _region_work(name)
+        t_ref, ref_results = _sweep(work, "reference", use_cache=False)
+        mlgp_fast._CTX_CACHE.clear()  # cold context, engine pays full setup
+        t_fast, fast_results = _sweep(work, "fast", use_cache=False)
+        assert ref_results == fast_results, f"engines diverged on {name}"
+        ref_total += t_ref
+        fast_total += t_fast
+        per_benchmark[name] = {
+            "regions": len(work),
+            "reference_seconds": round(t_ref, 4),
+            "fast_seconds": round(t_fast, 4),
+            "speedup": round(t_ref / t_fast, 2),
+        }
+    return {
+        "workload": "table_5_1_full_region_sweep",
+        "per_benchmark": per_benchmark,
+        "reference_seconds": round(ref_total, 4),
+        "fast_seconds": round(fast_total, 4),
+        "speedup": round(ref_total / fast_total, 2),
+    }
+
+
+def _bench_mlgp_pipeline() -> dict:
+    """Layer comparison on the repeated same-seed sweep of the pipeline.
+
+    Pre-PR the generation pipeline re-ran the reference engine on every
+    repeated (dfg, region, seed) visit — there was no region-level cache.
+    The current stack runs the fast engine behind the content-keyed
+    ``mlgp`` cache, so repeats are hits.
+    """
+    work = [job for name in TABLE_5_1 for job in _region_work(name)]
+    pre_total = post_total = 0.0
+    pre_last = post_last = None
+    cache.clear()
+    mlgp_fast._CTX_CACHE.clear()
+    for _rep in range(PIPELINE_REPS):
+        t, pre_last = _sweep(work, "reference", use_cache=False)
+        pre_total += t
+    for _rep in range(PIPELINE_REPS):
+        t, post_last = _sweep(work, "fast", use_cache=True)
+        post_total += t
+    assert pre_last == post_last, "pipeline stacks diverged"
+    return {
+        "workload": "table_5_1_repeated_sweep",
+        "reps": PIPELINE_REPS,
+        "regions_per_rep": len(work),
+        "pre_pr_seconds": round(pre_total, 4),
+        "current_seconds": round(post_total, 4),
+        "speedup": round(pre_total / post_total, 2),
+    }
+
+
+def _bench_kway() -> dict:
+    rng = random.Random(1500)
+    n, density = 1500, 0.006
+    edges = {}
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < density:
+                edges[(u, v)] = rng.uniform(0.5, 10.0)
+    for u in range(n - 1):
+        edges.setdefault((u, u + 1), rng.uniform(0.5, 5.0))
+    weights = [rng.uniform(0.5, 4.0) for _ in range(n)]
+    best_ref = best_fast = float("inf")
+    for _rep in range(3):
+        t0 = time.perf_counter()
+        ref = kway_partition(n, edges, weights, k=8, seed=1,
+                             engine="reference")
+        best_ref = min(best_ref, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fast = kway_partition(n, edges, weights, k=8, seed=1, engine="fast")
+        best_fast = min(best_fast, time.perf_counter() - t0)
+        assert ref == fast, "k-way engines diverged"
+    return {
+        "workload": f"random_graph_n{n}_k8",
+        "edges": len(edges),
+        "reference_seconds": round(best_ref, 4),
+        "fast_seconds": round(best_fast, 4),
+        "speedup": round(best_ref / best_fast, 2),
+    }
+
+
+def _bench_reconfig_warm() -> dict:
+    ex = extract_hot_loops(get_program("3des"))
+    cache.clear()
+    t0 = time.perf_counter()
+    cold = iterative_partition(ex.loops, ex.trace, 150.0, 400.0, seed=2)
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = iterative_partition(ex.loops, ex.trace, 150.0, 400.0, seed=2)
+    warm_s = time.perf_counter() - t0
+    assert cold.partition == warm.partition and cold.gain == warm.gain
+    return {
+        "workload": "3des_hot_loops",
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 6),
+        "speedup": round(cold_s / max(warm_s, 1e-9), 1),
+    }
+
+
+def _bench_dp_warm() -> dict:
+    tasks = synthetic_reconfig_tasks(16, seed=5)
+    cache.clear()
+    t0 = time.perf_counter()
+    cold = dp_solution(tasks, 2000.0, 5000.0)
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = dp_solution(tasks, 2000.0, 5000.0)
+    warm_s = time.perf_counter() - t0
+    assert cold.solution == warm.solution
+    return {
+        "workload": "synthetic_16_tasks",
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 6),
+        "speedup": round(cold_s / max(warm_s, 1e-9), 1),
+    }
+
+
+def test_partitioning_speed_trajectory():
+    """End-to-end partitioning perf snapshot with correctness asserts."""
+    engine = _bench_mlgp_engine()
+    pipeline = _bench_mlgp_pipeline()
+    kway = _bench_kway()
+    reconfig = _bench_reconfig_warm()
+    dp = _bench_dp_warm()
+
+    payload = {
+        "mlgp": {"engine": engine, "pipeline": pipeline},
+        "kway": kway,
+        "reconfig": reconfig,
+        "dp": dp,
+        "speedups": {
+            "mlgp_engine": engine["speedup"],
+            "mlgp_pipeline": pipeline["speedup"],
+            "kway_engine": kway["speedup"],
+            "reconfig_warm_cache": reconfig["speedup"],
+            "dp_warm_cache": dp["speedup"],
+        },
+    }
+    emit_json("BENCH_partitioning", payload)
+
+    assert engine["speedup"] >= 2.0, (
+        f"MLGP fast engine only {engine['speedup']}x vs reference "
+        "(soft guard: >= 2x)"
+    )
+    assert pipeline["speedup"] >= 5.0, (
+        f"partitioning pipeline only {pipeline['speedup']}x vs the "
+        "pre-PR stack (target: >= 5x)"
+    )
+    assert kway["speedup"] > 1.0, "fast k-way slower than reference"
+    assert reconfig["speedup"] > 1.0, "warm reconfig cache not faster"
+    assert dp["speedup"] > 1.0, "warm dp cache not faster"

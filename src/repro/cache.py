@@ -60,17 +60,26 @@ __all__ = [
     "candidates_digest",
     "clear",
     "curves_digest",
+    "dfg_digest",
     "fetch_candidates",
     "fetch_curve",
+    "fetch_ksolutions",
+    "fetch_mlgp",
+    "fetch_mtsolution",
     "fetch_pareto",
     "fetch_partition",
     "fetch_selection",
+    "hot_loops_digest",
     "program_fingerprint",
+    "reconfig_tasks_digest",
     "reset_cache_dir",
     "set_cache_dir",
     "set_enabled",
     "store_candidates",
     "store_curve",
+    "store_ksolutions",
+    "store_mlgp",
+    "store_mtsolution",
     "store_pareto",
     "store_partition",
     "store_selection",
@@ -174,6 +183,9 @@ _CURVES = _register_kind("curve", maxsize=512)
 _PARETO = _register_kind("pareto", maxsize=512)
 _SELECTIONS = _register_kind("selection", maxsize=2048)
 _PARTITIONS = _register_kind("partition", maxsize=256)
+_MLGP = _register_kind("mlgp", maxsize=4096)
+_KSOLUTIONS = _register_kind("ksolutions", maxsize=1024)
+_MTSOLUTIONS = _register_kind("mtsolution", maxsize=512)
 _enabled = True
 _dir_override: Path | None | str = ""  # "" means "follow the environment"
 
@@ -314,6 +326,68 @@ def program_fingerprint(program: Program) -> str:
     digest = hashlib.sha256(payload.encode()).hexdigest()
     _FINGERPRINTS[program] = digest
     return digest
+
+
+_DFG_DIGESTS: "weakref.WeakKeyDictionary[Any, str]" = weakref.WeakKeyDictionary()
+
+
+def dfg_digest(dfg: Any) -> str:
+    """SHA-256 hex digest of one DFG's structure (for MLGP cache keys).
+
+    Covers opcodes, dependence edges, live-outs and live-in operand
+    counts — the same per-block rendering :func:`program_fingerprint`
+    uses.  Memoized per DFG object (DFGs are treated as immutable once
+    handed to the partitioning pipeline, like programs).
+    """
+    memo = _DFG_DIGESTS.get(dfg)
+    if memo is not None:
+        return memo
+    payload = repr(
+        tuple(
+            (
+                dfg.op(n).value,
+                tuple(dfg.preds(n)),
+                dfg.is_live_out(n),
+                dfg.external_inputs(n),
+            )
+            for n in dfg.nodes
+        )
+    )
+    digest = hashlib.sha256(payload.encode()).hexdigest()
+    _DFG_DIGESTS[dfg] = digest
+    return digest
+
+
+def hot_loops_digest(loops: Sequence[Any], trace: Sequence[int]) -> str:
+    """SHA-256 hex digest of hot loops + their trace (Ch. 6 cache keys).
+
+    Covers every loop's (area, gain) version curve in loop order plus the
+    execution trace; names are excluded (content addressing).
+    """
+    payload = repr(
+        (
+            tuple(
+                tuple((v.area, v.gain) for v in lp.versions) for lp in loops
+            ),
+            tuple(trace),
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def reconfig_tasks_digest(tasks: Sequence[Any]) -> str:
+    """SHA-256 hex digest of reconfigurable tasks (Ch. 7 cache keys).
+
+    Covers periods and every version's (area, cycles) pair in task order
+    (:class:`repro.mtreconfig.model.ReconfigTask`); names are excluded.
+    """
+    payload = repr(
+        tuple(
+            (t.period, tuple((v.area, v.cycles) for v in t.versions))
+            for t in tasks
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def candidates_digest(candidates: Sequence[Candidate]) -> str:
@@ -602,3 +676,33 @@ def fetch_partition(key: str) -> dict[str, Any] | None:
 def store_partition(key: str, payload: dict[str, Any]) -> None:
     """Memoize a reconfiguration-partition result."""
     _store_json(_PARTITIONS, "partition", key, payload)
+
+
+def fetch_mlgp(key: str) -> dict[str, Any] | None:
+    """Cached MLGP region result (partitions/gains/areas dict) or None."""
+    return _fetch_json(_MLGP, "mlgp", key)
+
+
+def store_mlgp(key: str, payload: dict[str, Any]) -> None:
+    """Memoize an MLGP region result."""
+    _store_json(_MLGP, "mlgp", key, payload)
+
+
+def fetch_ksolutions(key: str) -> list[dict[str, Any]] | None:
+    """Cached per-k candidate solution list (Algorithm 6 phase 1-3) or None."""
+    return _fetch_json(_KSOLUTIONS, "ksolutions", key)
+
+
+def store_ksolutions(key: str, payload: Sequence[dict[str, Any]]) -> None:
+    """Memoize the candidate solutions of one configuration count k."""
+    _store_json(_KSOLUTIONS, "ksolutions", key, list(payload))
+
+
+def fetch_mtsolution(key: str) -> dict[str, Any] | None:
+    """Cached Chapter 7 DP solution or None."""
+    return _fetch_json(_MTSOLUTIONS, "mtsolution", key)
+
+
+def store_mtsolution(key: str, payload: dict[str, Any]) -> None:
+    """Memoize a Chapter 7 DP solution."""
+    _store_json(_MTSOLUTIONS, "mtsolution", key, payload)

@@ -9,8 +9,12 @@ Subcommands mirror the library's main flows:
   a task set under EDF or RMS;
 * ``repro pareto <benchmarks...>`` — Chapter 4 ε-approximate
   utilization-area Pareto curve;
+* ``repro mlgp <benchmarks...>`` — Chapter 5 iterative on-demand
+  custom-instruction generation for a task set;
 * ``repro reconfig <loops.json>`` — Chapter 6 partitioning of hot loops
   (falls back to the JPEG case study without an input file);
+* ``repro mtreconfig [benchmarks...]`` — Chapter 7 multi-task
+  spatial/temporal partitioning (DP, ILP or static solver);
 * ``repro faults <benchmarks...>`` — fault-injection sweep and
   degraded-mode (single-CFU-failure) robustness report.
 
@@ -117,16 +121,74 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--utilization", type=float, default=1.05)
     _add_obs_flags(p_val)
 
+    p_mlgp = sub.add_parser(
+        "mlgp", help="iterative custom-instruction generation (Ch. 5)"
+    )
+    p_mlgp.add_argument("benchmarks", nargs="+")
+    p_mlgp.add_argument("--utilization", type=float, default=1.05,
+                        help="software-only utilization of the task set "
+                             "(default 1.05)")
+    p_mlgp.add_argument("--target", type=float, default=1.0,
+                        help="utilization target to customize down to "
+                             "(default 1.0)")
+    p_mlgp.add_argument("--engine", dest="part_engine",
+                        choices=("fast", "reference"), default="fast",
+                        help="MLGP engine (bit-identical; default fast)")
+    p_mlgp.add_argument("--seed", type=int, default=0,
+                        help="MLGP seed (default 0)")
+    p_mlgp.add_argument("--workers", type=int, default=None,
+                        help="precompute per-region MLGP runs in N parallel "
+                             "processes")
+    p_mlgp.add_argument("--no-cache", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="disable the artifact cache for this run")
+    _add_obs_flags(p_mlgp)
+
     p_rec = sub.add_parser("reconfig", help="hot-loop partitioning (Ch. 6)")
     p_rec.add_argument("--input", help="hot-loops JSON (default: JPEG case study)")
     p_rec.add_argument("--max-area", type=float, default=None)
     p_rec.add_argument("--rho", type=float, default=None)
+    p_rec.add_argument("--engine", dest="part_engine",
+                       choices=("fast", "reference"), default="fast",
+                       help="k-way partitioner engine (bit-identical; "
+                            "default fast)")
+    p_rec.add_argument("--seed", type=int, default=0,
+                       help="k-way partitioner seed (default 0)")
     p_rec.add_argument("--workers", type=int, default=None,
                        help="evaluate per-k partitions in N parallel processes")
     p_rec.add_argument("--no-cache", action="store_true",
                        default=argparse.SUPPRESS,
                        help="disable the artifact cache for this run")
     _add_obs_flags(p_rec)
+
+    p_mt = sub.add_parser(
+        "mtreconfig",
+        help="multi-task spatial/temporal partitioning (Ch. 7)",
+    )
+    p_mt.add_argument("benchmarks", nargs="*",
+                      help="constituent tasks (default: a seeded synthetic "
+                           "task set)")
+    p_mt.add_argument("--engine", dest="mt_engine",
+                      choices=("dp", "ilp", "static"), default="dp",
+                      help="solver (default dp)")
+    p_mt.add_argument("--fabric-area", type=float, default=None,
+                      help="area of one fabric configuration (default: "
+                           "2x the largest version)")
+    p_mt.add_argument("--rho", type=float, default=None,
+                      help="reconfiguration cost (default: 1%% of the "
+                           "shortest period)")
+    p_mt.add_argument("--utilization", type=float, default=1.2,
+                      help="software-only utilization of the task set "
+                           "(default 1.2)")
+    p_mt.add_argument("--tasks", type=int, default=12,
+                      help="synthetic task count when no benchmarks are "
+                           "given (default 12)")
+    p_mt.add_argument("--seed", type=int, default=0,
+                      help="seed of the synthetic task set (default 0)")
+    p_mt.add_argument("--no-cache", action="store_true",
+                      default=argparse.SUPPRESS,
+                      help="disable the artifact cache for this run")
+    _add_obs_flags(p_mt)
 
     p_flt = sub.add_parser(
         "faults",
@@ -322,6 +384,37 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_mlgp(args: argparse.Namespace) -> int:
+    from repro.mlgp.flow import iterative_customization
+    from repro.workloads import programs_for
+
+    programs = programs_for(tuple(args.benchmarks))
+    sw_wcets = [p.wcet() for p in programs]
+    alpha = len(programs) / args.utilization
+    periods = [alpha * w for w in sw_wcets]
+    result = iterative_customization(
+        programs,
+        periods,
+        u_target=args.target,
+        seed=args.seed,
+        engine=args.part_engine,
+        workers=args.workers,
+    )
+    rows = [
+        (r.iteration, r.task, f"{r.utilization:.4f}", r.new_cis,
+         f"{r.elapsed:.2f}s")
+        for r in result.records
+    ]
+    print(format_table(
+        ["iteration", "task", "utilization", "new CIs", "elapsed"], rows
+    ))
+    print(f"final utilization {result.utilization:.4f} "
+          f"(target {result.target}) — "
+          f"{len(result.custom_instructions)} custom instructions, "
+          f"shared area {result.total_area:.1f} adders")
+    return 0 if result.met_target else 1
+
+
 def _cmd_reconfig(args: argparse.Namespace) -> int:
     from repro.reconfig import greedy_partition, iterative_partition
 
@@ -338,7 +431,10 @@ def _cmd_reconfig(args: argparse.Namespace) -> int:
         loops, trace = jpeg_loops(), jpeg_trace()
         max_area = args.max_area if args.max_area is not None else JPEG_MAX_AREA
         rho = args.rho if args.rho is not None else JPEG_RHO
-    it = iterative_partition(loops, trace, max_area, rho, workers=args.workers)
+    it = iterative_partition(
+        loops, trace, max_area, rho, seed=args.seed, workers=args.workers,
+        engine=args.part_engine,
+    )
     gr = greedy_partition(loops, trace, max_area, rho)
     print(format_table(
         ["algorithm", "net gain", "configurations"],
@@ -354,6 +450,64 @@ def _cmd_reconfig(args: argparse.Namespace) -> int:
         )
         print(f"  {lp.name}: version {j} -> {where}")
     return 0
+
+
+def _cmd_mtreconfig(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.mtreconfig import (
+        dp_solution,
+        ilp_solution,
+        static_solution,
+        synthetic_reconfig_tasks,
+        tasks_from_benchmarks,
+    )
+
+    if args.benchmarks:
+        tasks = tasks_from_benchmarks(
+            tuple(args.benchmarks), target_utilization=args.utilization
+        )
+    else:
+        tasks = synthetic_reconfig_tasks(
+            args.tasks, seed=args.seed, target_utilization=args.utilization
+        )
+    fabric_area = args.fabric_area
+    if fabric_area is None:
+        fabric_area = 2.0 * max(
+            (v.area for t in tasks for v in t.versions), default=1.0
+        )
+    rho = args.rho
+    if rho is None:
+        rho = 0.01 * min((t.period for t in tasks), default=1.0)
+    if args.mt_engine == "dp":
+        report = dp_solution(tasks, fabric_area, rho)
+        solution, elapsed = report.solution, report.elapsed
+    elif args.mt_engine == "ilp":
+        report = ilp_solution(tasks, fabric_area, rho)
+        solution, elapsed = report.solution, report.elapsed
+    else:
+        t0 = time.perf_counter()
+        solution = static_solution(tasks, fabric_area, rho=rho)
+        elapsed = time.perf_counter() - t0
+    n_configs = len({
+        g for g, j in zip(solution.group_of, solution.selection) if j != 0
+    })
+    print(format_table(
+        ["metric", "value"],
+        [
+            ("solver", args.mt_engine),
+            ("fabric area", fabric_area),
+            ("rho", rho),
+            ("utilization", f"{solution.utilization:.4f}"),
+            ("schedulable", solution.utilization <= 1.0 + 1e-9),
+            ("configurations", n_configs),
+            ("elapsed", f"{elapsed * 1e3:.1f}ms"),
+        ],
+    ))
+    for t, j, g in zip(tasks, solution.selection, solution.group_of):
+        where = f"config {g}" if j != 0 else "software"
+        print(f"  {t.name}: version {j} -> {where}")
+    return 0 if solution.utilization <= 1.0 + 1e-9 else 1
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
@@ -421,8 +575,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_explain(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "mlgp":
+        return _cmd_mlgp(args)
     if args.command == "reconfig":
         return _cmd_reconfig(args)
+    if args.command == "mtreconfig":
+        return _cmd_mtreconfig(args)
     if args.command == "faults":
         return _cmd_faults(args)
     if args.command == "trace":

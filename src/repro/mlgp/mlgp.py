@@ -29,8 +29,10 @@ import random
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro import cache, obs
 from repro.graphs.dfg import DataFlowGraph
 from repro.isa.costmodel import DEFAULT_COST_MODEL, HardwareCostModel
+from repro.mlgp.mlgp_fast import run_fast_mlgp
 
 __all__ = ["MlgpResult", "mlgp_partition"]
 
@@ -234,7 +236,11 @@ class _PartitionState:
 
 
 def _try_move(
-    state: _PartitionState, v: int, dest: int, rng: random.Random
+    state: _PartitionState,
+    v: int,
+    dest: int,
+    rng: random.Random,
+    counters: dict[str, int] | None = None,
 ) -> tuple[float, list[int]] | None:
     """Evaluate moving vertex *v* (plus repair vertices) into *dest*.
 
@@ -301,6 +307,8 @@ def _try_move(
         moving_nodes |= state.level.vertices[u]
         candidate = frozenset(dest_nodes | moving_nodes)
         repair_budget -= 1
+        if counters is not None:
+            counters["repairs"] += 1
     if not feasible(candidate):
         return None
     if not src_ok(set(moving)):
@@ -328,7 +336,10 @@ def _try_move(
 
 
 def _refine(
-    state: _PartitionState, rng: random.Random, max_passes: int = 3
+    state: _PartitionState,
+    rng: random.Random,
+    max_passes: int = 3,
+    counters: dict[str, int] | None = None,
 ) -> None:
     for _ in range(max_passes):
         improved = False
@@ -337,11 +348,13 @@ def _refine(
         for v in boundary:
             best: tuple[float, list[int], int] | None = None
             for dest in sorted(state.neighbor_parts(v)):
-                res = _try_move(state, v, dest, rng)
+                res = _try_move(state, v, dest, rng, counters)
                 if res is not None and (best is None or res[0] > best[0]):
                     best = (res[0], res[1], dest)
             if best is not None:
                 state.move(best[1], best[2])
+                if counters is not None:
+                    counters["moves"] += len(best[1])
                 improved = True
         if not improved:
             break
@@ -355,6 +368,8 @@ def mlgp_partition(
     model: HardwareCostModel = DEFAULT_COST_MODEL,
     seed: int = 0,
     refine_passes: int = 3,
+    engine: str = "fast",
+    use_cache: bool = True,
 ) -> MlgpResult:
     """Run MLGP on one region of a DFG.
 
@@ -365,10 +380,86 @@ def mlgp_partition(
         model: hardware cost model.
         seed: RNG seed for matching/refinement visit order.
         refine_passes: refinement passes per uncoarsening level.
+        engine: ``"fast"`` (bitset node sets, memoized projection tables,
+            incremental bookkeeping; see :mod:`repro.mlgp.mlgp_fast`) or
+            ``"reference"`` (the original frozenset implementation).  Both
+            produce bit-identical results, asserted by the differential
+            tests, so the cache key is engine-independent.
+        use_cache: memoize the result behind a content key (DFG digest +
+            region + parameters) in :mod:`repro.cache`.  Only plain
+            :class:`HardwareCostModel` instances are content-addressable;
+            a model subclass bypasses the cache.
 
     Returns:
         An :class:`MlgpResult` with disjoint feasible partitions.
     """
+    if engine not in ("fast", "reference"):
+        raise ValueError(f"unknown MLGP engine {engine!r}")
+    key = None
+    if use_cache and type(model) is HardwareCostModel:
+        key = cache.artifact_key(
+            cache.dfg_digest(dfg),
+            kind="mlgp",
+            region=tuple(region),
+            max_inputs=max_inputs,
+            max_outputs=max_outputs,
+            cycle_delay=model.cycle_delay,
+            seed=seed,
+            refine_passes=refine_passes,
+        )
+        cached = cache.fetch_mlgp(key)
+        if cached is not None:
+            return MlgpResult(
+                partitions=tuple(frozenset(p) for p in cached["partitions"]),
+                gains=tuple(cached["gains"]),
+                areas=tuple(cached["areas"]),
+            )
+    with obs.span("mlgp.partition", nodes=len(region), engine=engine):
+        if engine == "fast":
+            (partitions, gains, areas), counters = run_fast_mlgp(
+                dfg, region, max_inputs, max_outputs, model, seed, refine_passes
+            )
+            result = MlgpResult(
+                partitions=partitions, gains=gains, areas=areas
+            )
+        else:
+            counters = {"moves": 0, "repairs": 0}
+            result = _reference_mlgp(
+                dfg,
+                region,
+                max_inputs,
+                max_outputs,
+                model,
+                seed,
+                refine_passes,
+                counters,
+            )
+    # Hot-loop counters are accumulated locally and flushed once per run.
+    obs.inc("mlgp.moves", counters["moves"])
+    obs.inc("mlgp.repairs", counters["repairs"])
+    if key is not None:
+        cache.store_mlgp(
+            key,
+            {
+                "partitions": [sorted(p) for p in result.partitions],
+                "gains": list(result.gains),
+                "areas": list(result.areas),
+            },
+        )
+    return result
+
+
+def _reference_mlgp(
+    dfg: DataFlowGraph,
+    region: Sequence[int],
+    max_inputs: int,
+    max_outputs: int,
+    model: HardwareCostModel,
+    seed: int,
+    refine_passes: int,
+    counters: dict[str, int],
+) -> MlgpResult:
+    """The original frozenset MLGP implementation (differential oracle)."""
     rng = random.Random(seed)
     level0 = _build_level0(dfg, region)
     levels: list[_Level] = [level0]
@@ -395,7 +486,7 @@ def mlgp_partition(
         state = _PartitionState(
             dfg, level, assign, n_parts, max_inputs, max_outputs, model
         )
-        _refine(state, rng, max_passes=refine_passes)
+        _refine(state, rng, max_passes=refine_passes, counters=counters)
         assign = state.assign
 
     # Collect final partitions from level 0.

@@ -27,7 +27,7 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro import obs
+from repro import cache, obs
 from repro.mtreconfig.model import MTSolution, ReconfigTask, effective_utilization
 from repro.mtreconfig.static import static_solution
 
@@ -74,6 +74,7 @@ def dp_solution(
     rho: float,
     scale: int = 100,
     max_steps: int = 20000,
+    use_cache: bool = True,
 ) -> DpReport:
     """Near-optimal spatial+temporal partitioning via the two-case DP.
 
@@ -82,14 +83,48 @@ def dp_solution(
         fabric_area: area of one fabric configuration.
         rho: reconfiguration cost (time units).
         scale / max_steps: quantization controls of the static knapsack.
+        use_cache: memoize the solution behind a content key (task digest
+            + parameters) in :mod:`repro.cache`; a cached hit reports its
+            own (near-zero) elapsed time.
 
     Returns:
         A :class:`DpReport` with the best solution found and the runtime.
     """
     start = time.perf_counter()
 
+    key = None
+    if use_cache:
+        key = cache.artifact_key(
+            cache.reconfig_tasks_digest(tasks),
+            kind="mtsolution",
+            fabric_area=fabric_area,
+            rho=rho,
+            scale=scale,
+            max_steps=max_steps,
+        )
+        cached = cache.fetch_mtsolution(key)
+        if cached is not None:
+            return DpReport(
+                solution=MTSolution(
+                    selection=tuple(cached["selection"]),
+                    group_of=tuple(cached["group_of"]),
+                    utilization=cached["utilization"],
+                ),
+                elapsed=time.perf_counter() - start,
+            )
+
     with obs.span("mtreconfig.dp", tasks=len(tasks)):
-        return _dp_solution(tasks, fabric_area, rho, scale, max_steps, start)
+        report = _dp_solution(tasks, fabric_area, rho, scale, max_steps, start)
+    if key is not None:
+        cache.store_mtsolution(
+            key,
+            {
+                "selection": list(report.solution.selection),
+                "group_of": list(report.solution.group_of),
+                "utilization": report.solution.utilization,
+            },
+        )
+    return report
 
 
 def _dp_solution(

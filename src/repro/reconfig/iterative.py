@@ -23,7 +23,6 @@ version, larger ``k`` cannot help.
 
 from __future__ import annotations
 
-import hashlib
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -150,15 +149,61 @@ def _solutions_for_k(
     seed: int,
     prune: bool,
     k: int,
+    engine: str = "fast",
+    use_cache: bool = True,
 ) -> list[PartitionSolution]:
     """Candidate solutions for one configuration count *k* (phases 1-3).
 
     Returned in the exact order the serial fold compares them (each base
     candidate followed by its pruned variant when it differs), so folding
     the lists for ascending ``k`` reproduces the sequential search.
+
+    Per-k results are memoized behind a content key (loops + trace digest
+    + parameters); the key is engine-independent because the k-way engines
+    are bit-identical under a fixed seed.
     """
-    with obs.span("reconfig.k", k=k, loops=len(loops)):
-        return _solutions_for_k_body(loops, trace, max_area, rho, seed, prune, k)
+    key = None
+    if use_cache:
+        key = cache.artifact_key(
+            cache.hot_loops_digest(loops, trace),
+            kind="ksolutions",
+            max_area=max_area,
+            rho=rho,
+            seed=seed,
+            prune=prune,
+            k=k,
+        )
+        cached = cache.fetch_ksolutions(key)
+        if cached is not None:
+            return [
+                PartitionSolution(
+                    partition=Partition(
+                        selection=tuple(c["selection"]),
+                        config_of=tuple(c["config_of"]),
+                    ),
+                    gain=c["gain"],
+                    n_configurations=c["n_configurations"],
+                )
+                for c in cached
+            ]
+    with obs.span("reconfig.k", k=k, loops=len(loops), engine=engine):
+        solutions = _solutions_for_k_body(
+            loops, trace, max_area, rho, seed, prune, k, engine
+        )
+    if key is not None:
+        cache.store_ksolutions(
+            key,
+            [
+                {
+                    "selection": list(s.partition.selection),
+                    "config_of": list(s.partition.config_of),
+                    "gain": s.gain,
+                    "n_configurations": s.n_configurations,
+                }
+                for s in solutions
+            ],
+        )
+    return solutions
 
 
 def _solutions_for_k_body(
@@ -169,6 +214,7 @@ def _solutions_for_k_body(
     seed: int,
     prune: bool,
     k: int,
+    engine: str,
 ) -> list[PartitionSolution]:
     n = len(loops)
     # Phase 1: global spatial partitioning over continuous area k*MaxA.
@@ -185,7 +231,8 @@ def _solutions_for_k_body(
         }
         weights = [loops[i].versions[selection[i]].area for i in hw]
         assign = kway_partition(
-            len(hw), edges, weights, k=min(k, len(hw)), seed=seed
+            len(hw), edges, weights, k=min(k, len(hw)), seed=seed,
+            engine=engine,
         )
         config_of = [0] * n
         for i, part_id in zip(hw, assign):
@@ -194,7 +241,8 @@ def _solutions_for_k_body(
     # Partition P': all loops, unit weights, selection ignored.
     rcg_all = build_rcg(trace, range(n))
     assign_all = kway_partition(
-        n, {k2: float(v) for k2, v in rcg_all.items()}, None, k=k, seed=seed
+        n, {k2: float(v) for k2, v in rcg_all.items()}, None, k=k, seed=seed,
+        engine=engine,
     )
     candidates.append(([0] * n, list(assign_all)))
 
@@ -227,21 +275,23 @@ def _solutions_for_k_body(
 
 
 def _k_job(
-    args: tuple[tuple[HotLoop, ...], tuple[int, ...], float, float, int, bool, int],
+    args: tuple[
+        tuple[HotLoop, ...],
+        tuple[int, ...],
+        float,
+        float,
+        int,
+        bool,
+        int,
+        str,
+        bool,
+    ],
 ) -> list[PartitionSolution]:
     """Module-level worker so per-k jobs can be pickled."""
-    loops, trace, max_area, rho, seed, prune, k = args
-    return _solutions_for_k(loops, trace, max_area, rho, seed, prune, k)
-
-
-def _loops_digest(loops: Sequence[HotLoop], trace: Sequence[int]) -> str:
-    payload = repr(
-        (
-            tuple(tuple((v.area, v.gain) for v in lp.versions) for lp in loops),
-            tuple(trace),
-        )
+    loops, trace, max_area, rho, seed, prune, k, engine, use_cache = args
+    return _solutions_for_k(
+        loops, trace, max_area, rho, seed, prune, k, engine, use_cache
     )
-    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def iterative_partition(
@@ -254,6 +304,7 @@ def iterative_partition(
     prune: bool = True,
     workers: int | None = None,
     use_cache: bool = True,
+    engine: str = "fast",
 ) -> PartitionSolution:
     """Run Algorithm 6 and return the best solution found.
 
@@ -271,19 +322,24 @@ def iterative_partition(
             many parallel processes; the sequential ascending-k fold (and
             its early exits) is applied to the results afterwards, so the
             returned solution is identical to the serial search.
-        use_cache: memoize the result behind a content key (loops + trace
-            digest + parameters) in :mod:`repro.cache`.
+        use_cache: memoize the final result and every per-k candidate list
+            behind content keys (loops + trace digest + parameters) in
+            :mod:`repro.cache`.
+        engine: k-way partitioner engine (``"fast"`` or ``"reference"``);
+            engines are bit-identical, so cache keys do not include it.
 
     Returns:
         The best :class:`PartitionSolution`.
     """
+    if engine not in ("fast", "reference"):
+        raise ReproError(f"unknown engine {engine!r}")
     n = len(loops)
     if n == 0:
         raise ReproError("need at least one hot loop")
     key = None
     if use_cache:
         key = cache.artifact_key(
-            _loops_digest(loops, trace),
+            cache.hot_loops_digest(loops, trace),
             kind="iterative_partition",
             max_area=max_area,
             rho=rho,
@@ -305,10 +361,11 @@ def iterative_partition(
     limit = min(n, max_k) if max_k is not None else n
 
     jobs = [
-        (tuple(loops), tuple(trace), max_area, rho, seed, prune, k)
+        (tuple(loops), tuple(trace), max_area, rho, seed, prune, k, engine,
+         use_cache)
         for k in range(1, limit + 1)
     ]
-    with obs.span("reconfig.partition", loops=n, max_k=limit):
+    with obs.span("reconfig.partition", loops=n, max_k=limit, engine=engine):
         if workers is not None and workers > 1 and limit > 1:
             per_k = parallel_map(
                 _k_job, jobs, workers, label="partition candidates"
