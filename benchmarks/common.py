@@ -70,6 +70,15 @@ def emit_json(name: str, payload: dict) -> Path:
     ``host`` fingerprint and a snapshot of the obs metrics registry under
     ``metrics`` (each only filled in when the payload does not already
     carry it), plus the bench-specific keys.
+
+    Rate-derivation note (``BENCH_identification.json``): per-row
+    ``candidates_visited_per_sec`` and the ``*_enumeration`` speedup
+    ratios are derived from the *pure* enumeration wall time
+    (``stats["enumerate_seconds"]`` reported by
+    :func:`repro.enumeration.library.build_candidate_library`), not from
+    the enclosing ``enumerate`` stage timer — the stage also covers
+    candidate costing, which is identical across engines and would
+    otherwise dilute engine-to-engine comparisons.
     """
     payload.setdefault("schema_version", BENCH_SCHEMA_VERSION)
     payload.setdefault("host", host_info())

@@ -2,15 +2,23 @@
 
 Times the identification → configuration-curve → selection pipeline on the
 Figure 3.3 workload (the unique programs of the six Chapter 3 task sets)
-under three setups:
+under four setups:
 
 * ``reference_cold`` — the original set-based ESU enumerator, no caching;
 * ``bitset_cold``    — the bitset engine with empty artifact caches;
+* ``array_cold``     — the array engine; the library cache key is
+  engine-qualified so its *enumeration* runs cold, while the
+  engine-independent curve/select caches stay primed from the bitset row
+  (only the enumerate stage is a cold-vs-cold comparison);
 * ``bitset_warm``    — the bitset engine re-run with primed caches.
 
 Per-stage wall clock (enumerate / curves / select), candidate-visit rates
 and the speedup ratios are written to
-``benchmarks/results/BENCH_identification.json``.
+``benchmarks/results/BENCH_identification.json``.  Engine enumeration
+comparisons (rates and ``*_enumeration`` ratios) use the pure
+``stats["enumerate_seconds"]`` measured around :func:`enumerate_connected`
+itself — the stage timer also covers candidate costing, which is
+engine-independent work that would dilute the ratios.
 """
 
 from __future__ import annotations
@@ -25,6 +33,11 @@ from repro.enumeration import build_candidate_library
 from repro.rtsched import PeriodicTask, scale_periods_for_utilization
 from repro.selection import build_configuration_curve, downsample_curve
 from repro.workloads import CH3_TASK_SETS, get_program
+
+#: Repeats for the enumeration-only engine comparison; the min filters
+#: scheduler noise out of the per-engine kernel time (single-shot cold
+#: rows stay in the payload for the end-to-end picture).
+ENUM_REPEATS = 5
 
 AREA_FRACTIONS = tuple(i / 10 for i in range(11))
 
@@ -81,7 +94,11 @@ def _run_pipeline(engine: str, use_cache: bool, label: str) -> dict:
                 select_rms(ts, budget)
     total = time.perf_counter() - t0
     report = stage_report()
-    enum_seconds = report.get("enumerate", {}).get("seconds", 0.0)
+    stage_enum_seconds = report.get("enumerate", {}).get("seconds", 0.0)
+    # Pure time inside enumerate_connected (excludes candidate costing,
+    # which the enumerate *stage* also covers) — the engine-comparable
+    # denominator for visit rates and enumeration speedups.
+    enum_seconds = enum_stats.get("enumerate_seconds", 0.0)
     visited = enum_stats.get("visited", 0)
     return {
         "label": label,
@@ -91,13 +108,47 @@ def _run_pipeline(engine: str, use_cache: bool, label: str) -> dict:
         "total_seconds": round(total, 4),
         "stages": {k: round(v["seconds"], 4) for k, v in report.items()},
         "identification_seconds": round(
-            enum_seconds + report.get("curves", {}).get("seconds", 0.0), 4
+            stage_enum_seconds + report.get("curves", {}).get("seconds", 0.0), 4
         ),
+        "enumerate_seconds": round(enum_seconds, 4),
         "candidates_visited": visited,
         "candidates_visited_per_sec": (
             round(visited / enum_seconds) if enum_seconds > 0 and visited else None
         ),
     }
+
+
+def _enumeration_seconds(engine: str, repeats: int = ENUM_REPEATS) -> float:
+    """Best-of-*repeats* pure enumeration time for one engine.
+
+    Sweeps :func:`enumerate_connected` over every hot block of the
+    Figure 3.3 workload (the library's own parameters: 4/2 ports,
+    ``max_size`` 12, 2000 candidates per block) and returns the fastest
+    full sweep — the engine's kernel time with warm masks/constants,
+    insulated from one-off scheduler stalls and from the
+    candidate-costing allocator churn a full library build interleaves.
+    This is the figure behind the ``*_enumeration_best`` speedup and the
+    array-vs-bitset soft guard.
+    """
+    from repro.enumeration import enumerate_connected
+    from repro.enumeration.library import hot_block_indices
+
+    dfgs = []
+    for name, salt in _workload_pairs():
+        program = get_program(name, salt)
+        dfgs += [
+            program.basic_blocks[i].dfg for i in hot_block_indices(program)
+        ]
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for dfg in dfgs:
+            enumerate_connected(
+                dfg, max_inputs=4, max_outputs=2, max_size=12,
+                max_candidates=2000, engine=engine,
+            )
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 def _disabled_span_ns(iterations: int = 200_000) -> float:
@@ -130,22 +181,54 @@ def test_identification_pipeline_speed(benchmark):
     cache.clear()
     cold = _run_pipeline("bitset", use_cache=True, label="bitset_cold")
 
+    # Engine-qualified library cache key ⇒ enumeration runs cold; the
+    # engine-independent curve cache stays primed (bitset paid for it —
+    # and for building the shared per-DFG bitset masks — just above).
+    array_cold = _run_pipeline("array", use_cache=True, label="array_cold")
+
     warm = benchmark.pedantic(
         _run_pipeline, args=("bitset", True, "bitset_warm"), rounds=1, iterations=1
     )
+
+    bitset_best = _enumeration_seconds("bitset")
+    array_best = _enumeration_seconds("array")
+    # The reference engine is ~10x slower, so noise is proportionally
+    # smaller — two repeats suffice.
+    reference_best = _enumeration_seconds("reference", repeats=2)
 
     def ratio(a: float, b: float) -> float:
         return round(a / b, 2) if b > 0 else math.inf
 
     payload = {
         "workload": "figure_3_3",
-        "rows": [reference, cold, warm],
+        "rows": [reference, cold, array_cold, warm],
+        "enumeration_best_of": {
+            "repeats": ENUM_REPEATS,
+            "reference_seconds": round(reference_best, 4),
+            "bitset_seconds": round(bitset_best, 4),
+            "array_seconds": round(array_best, 4),
+        },
         "speedups": {
             "bitset_vs_reference_identification": ratio(
                 reference["identification_seconds"], cold["identification_seconds"]
             ),
             "bitset_vs_reference_total": ratio(
                 reference["total_seconds"], cold["total_seconds"]
+            ),
+            "bitset_vs_reference_enumeration": ratio(
+                reference["enumerate_seconds"], cold["enumerate_seconds"]
+            ),
+            "array_vs_bitset_enumeration": ratio(
+                cold["enumerate_seconds"], array_cold["enumerate_seconds"]
+            ),
+            "array_vs_reference_enumeration": ratio(
+                reference["enumerate_seconds"], array_cold["enumerate_seconds"]
+            ),
+            "array_vs_bitset_enumeration_best": ratio(
+                bitset_best, array_best
+            ),
+            "array_vs_reference_enumeration_best": ratio(
+                reference_best, array_best
             ),
             "warm_vs_cold_identification": ratio(
                 cold["identification_seconds"], warm["identification_seconds"]
@@ -167,3 +250,7 @@ def test_identification_pipeline_speed(benchmark):
     assert speedups["bitset_vs_reference_identification"] >= 2.0
     assert speedups["warm_vs_cold_identification"] >= 5.0
     assert warm["total_seconds"] < cold["total_seconds"]
+    # Soft perf guard: the array engine must not enumerate slower than the
+    # bitset engine (observed ~2x faster best-of-N; the 1.0 floor keeps
+    # single-core CI noise from flaking the build).
+    assert speedups["array_vs_bitset_enumeration_best"] >= 1.0

@@ -84,20 +84,43 @@ def test_scalability_rms_bb(benchmark):
 
 def test_scalability_enumeration(benchmark):
     def run():
-        lines = ["block_ops  candidates  time_ms"]
+        # Candidate counts differ between the engines on the larger blocks:
+        # the default visit budgets bind there, and a binding per-root
+        # budget is spent depth-first (bitset) vs breadth-first (array) —
+        # both deterministic, with the BFS order reaching more feasible
+        # subgraphs inside the same budget.  Per-candidate microseconds is
+        # the comparable figure; the array engine wins in the hot-block
+        # size range real programs produce (tens to a few hundred ops) and
+        # cedes to bitset on very large budget-bound blocks, where its
+        # level frontier outgrows the cache.  Bit-identity under
+        # non-binding budgets is tests/test_enumeration_differential.py.
+        lines = [
+            "block_ops  bitset_cands  array_cands  bitset_ms  array_ms"
+            "  bitset_us_per_cand  array_us_per_cand"
+        ]
         for n_ops in (50, 100, 250, 500, 1000, 2000):
             rng = random.Random(n_ops)
             dfg = synth_dfg(rng, n_ops, OP_MIXES["crypto"])
+            # bitset first: it pays for building the shared per-DFG masks.
             t0 = time.perf_counter()
-            subs = enumerate_connected(dfg, 4, 2)
-            dt = (time.perf_counter() - t0) * 1000
-            lines.append(f"{n_ops:9d}  {len(subs):10d}  {dt:7.1f}")
+            subs = enumerate_connected(dfg, 4, 2, engine="bitset")
+            bitset_ms = (time.perf_counter() - t0) * 1000
+            t0 = time.perf_counter()
+            subs_a = enumerate_connected(dfg, 4, 2, engine="array")
+            array_ms = (time.perf_counter() - t0) * 1000
+            lines.append(
+                f"{n_ops:9d}  {len(subs):12d}  {len(subs_a):11d}  "
+                f"{bitset_ms:9.1f}  {array_ms:8.1f}  "
+                f"{1000 * bitset_ms / len(subs):18.1f}  "
+                f"{1000 * array_ms / len(subs_a):17.1f}"
+            )
         return lines
 
     lines = once(benchmark, run)
     emit("scalability_enumeration", lines)
     # Budgeted enumeration: bounded wall time even at 2000 ops.
-    assert all(float(l.split()[2]) < 15_000 for l in lines[1:])
+    assert all(float(l.split()[3]) < 15_000 for l in lines[1:])
+    assert all(float(l.split()[4]) < 15_000 for l in lines[1:])
 
 
 def test_scalability_kway(benchmark):

@@ -68,9 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "this directory (overrides $REPRO_CACHE_DIR)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the in-process artifact cache")
-    parser.add_argument("--engine", choices=("bitset", "reference"),
+    parser.add_argument("--engine", choices=("bitset", "array", "reference"),
                         default="bitset",
-                        help="candidate-enumeration engine (default bitset)")
+                        help="candidate-enumeration engine (default bitset; "
+                             "array = vectorized frontier batching, "
+                             "bit-identical results)")
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="record a span trace of this run as JSONL")
     parser.add_argument("--metrics", action="store_true", default=False,
@@ -132,8 +134,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="utilization target to customize down to "
                              "(default 1.0)")
     p_mlgp.add_argument("--engine", dest="part_engine",
-                        choices=("fast", "reference"), default="fast",
-                        help="MLGP engine (bit-identical; default fast)")
+                        choices=("fast", "array", "reference"), default="fast",
+                        help="MLGP engine (bit-identical; default fast; "
+                             "array = batched move scoring)")
     p_mlgp.add_argument("--seed", type=int, default=0,
                         help="MLGP seed (default 0)")
     p_mlgp.add_argument("--workers", type=int, default=None,

@@ -12,6 +12,8 @@ sweeps that revisit the same program skip enumeration entirely.
 
 from __future__ import annotations
 
+import time
+
 from repro import cache, obs
 from repro.enumeration.mimo import enumerate_connected
 from repro.enumeration.patterns import CandidateLibrary, make_candidate
@@ -74,7 +76,11 @@ def build_candidate_library(
         use_cache: consult/populate the content-keyed artifact cache
             (:mod:`repro.cache`).
         stats: optional dict accumulating enumeration ``visited``/``feasible``
-            counters (bypassed on cache hits).
+            counters (bypassed on cache hits).  Also receives
+            ``enumerate_seconds`` — wall time spent inside
+            :func:`enumerate_connected` alone, excluding candidate costing
+            — so throughput rates compare engines on the enumeration work
+            itself.
 
     Returns:
         A :class:`CandidateLibrary` with profitable candidates only, ordered
@@ -106,9 +112,11 @@ def build_candidate_library(
         "visited", "feasible", "pruned_visit_budget", "pruned_inputs",
         "pruned_outputs",
     )}
+    enum_seconds = 0.0
     with obs.span("identify.enumerate", program=program.name, engine=engine):
         for i in hot_block_indices(program, hot_threshold):
             dfg = blocks[i].dfg
+            t0 = time.perf_counter()
             node_sets = enumerate_connected(
                 dfg,
                 max_inputs=max_inputs,
@@ -118,6 +126,7 @@ def build_candidate_library(
                 engine=engine,
                 stats=enum_stats,
             )
+            enum_seconds += time.perf_counter() - t0
             if include_disconnected:
                 from repro.enumeration.disconnected import pair_disconnected
 
@@ -138,6 +147,9 @@ def build_candidate_library(
                 )
                 if cand.total_gain > 0:
                     library.add(cand)
+    enum_stats["enumerate_seconds"] = (
+        enum_stats.get("enumerate_seconds", 0.0) + enum_seconds
+    )
     for k, v0 in before.items():
         delta = enum_stats.get(k, 0) - v0
         if delta:

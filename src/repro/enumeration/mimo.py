@@ -8,10 +8,12 @@ enumerators are provided:
   subgraphs without duplicates (each subgraph is generated exactly once from
   its minimum-id node), filtered by the I/O and convexity constraints, with
   size and count caps.  This is the production enumerator used to build
-  candidate libraries.  Two engines implement it: the default ``"bitset"``
-  engine represents subgraphs as Python int bitmasks with incremental
-  feasibility tracking, and the ``"reference"`` engine is the original
-  set-based implementation kept for differential testing.
+  candidate libraries.  Three engines implement it: the default
+  ``"bitset"`` engine represents subgraphs as Python int bitmasks with
+  incremental feasibility tracking, the ``"array"`` engine batches the
+  same search level-synchronously over NumPy uint64 bitset matrices
+  (:mod:`repro.enumeration.mimo_array`), and the ``"reference"`` engine
+  is the original set-based implementation kept for differential testing.
 * :func:`enumerate_exhaustive` — plain subset enumeration over a (small)
   node set; exact but exponential.  Used by tests as ground truth and for
   tiny regions.
@@ -73,17 +75,26 @@ def enumerate_connected(
             to ``25 x max_candidates``.  Bounds worst-case runtime on large
             dense blocks.
         engine: ``"bitset"`` (default; int-bitmask subgraphs, incremental
-            feasibility, monotone input-bound pruning) or ``"reference"``
-            (the original set-based path).  Both return the same candidate
-            set when the visit budgets do not bind; under binding budgets
-            the bitset engine's pruning lets it reach more feasible
-            subgraphs within the same budget.
+            feasibility, monotone input-bound pruning), ``"array"`` (the
+            same search batched level-synchronously over NumPy uint64
+            bitset matrices — one vectorized scoring pass per subgraph
+            size instead of per-candidate Python branches) or
+            ``"reference"`` (the original set-based path).  All engines
+            return the same candidate set when the visit budgets and
+            candidate caps do not bind; under binding budgets the bitset
+            engine's pruning lets it reach more feasible subgraphs than
+            the reference within the same budget, and the array engine
+            spends the same per-root budgets breadth-first instead of
+            depth-first (deterministically — see
+            :mod:`repro.enumeration.mimo_array`).
         stats: optional dict; when given, ``"visited"`` and ``"feasible"``
             counters are accumulated into it (for the benchmark harness).
-            The bitset engine additionally accumulates per-constraint prune
-            counters: ``"pruned_visit_budget"`` (visit-budget cuts),
-            ``"pruned_inputs"`` (monotone input-bound cuts) and
-            ``"pruned_outputs"`` (output-port rejections).
+            The bitset and array engines additionally accumulate
+            per-constraint prune counters: ``"pruned_visit_budget"``
+            (visit-budget cuts), ``"pruned_inputs"`` (monotone input-bound
+            cuts) and ``"pruned_outputs"`` (output-port rejections); the
+            two tallies are bit-identical whenever budgets/caps do not
+            bind.
 
     Returns:
         Feasible candidate node sets, largest first.
@@ -93,12 +104,30 @@ def enumerate_connected(
             dfg, max_inputs, max_outputs, max_size, max_candidates,
             min_size, max_visited, stats,
         )
+    if engine == "array":
+        from repro.enumeration import mimo_array
+
+        if len(dfg) >= mimo_array.ARRAY_MIN_NODES:
+            return mimo_array.enumerate_array(
+                dfg, max_inputs, max_outputs, max_size, max_candidates,
+                min_size, max_visited, stats,
+            )
+        # Tiny blocks: per-level NumPy call overhead outweighs batching —
+        # the bitset DFS walks the identical tree faster, so the array
+        # engine delegates (same results whenever budgets/caps don't bind,
+        # and deterministic either way).
+        return _enumerate_bitset(
+            dfg, max_inputs, max_outputs, max_size, max_candidates,
+            min_size, max_visited, stats,
+        )
     if engine == "reference":
         return _enumerate_reference(
             dfg, max_inputs, max_outputs, max_size, max_candidates,
             min_size, max_visited, stats,
         )
-    raise ValueError(f"unknown engine {engine!r}; use 'bitset' or 'reference'")
+    raise ValueError(
+        f"unknown engine {engine!r}; use 'bitset', 'array' or 'reference'"
+    )
 
 
 def _enumerate_reference(

@@ -381,10 +381,13 @@ def mlgp_partition(
         seed: RNG seed for matching/refinement visit order.
         refine_passes: refinement passes per uncoarsening level.
         engine: ``"fast"`` (bitset node sets, memoized projection tables,
-            incremental bookkeeping; see :mod:`repro.mlgp.mlgp_fast`) or
-            ``"reference"`` (the original frozenset implementation).  Both
-            produce bit-identical results, asserted by the differential
-            tests, so the cache key is engine-independent.
+            incremental bookkeeping; see :mod:`repro.mlgp.mlgp_fast`),
+            ``"array"`` (the fast engine with each refinement pass's move
+            evaluations batched into one NumPy pass; see
+            :mod:`repro.mlgp.mlgp_array`) or ``"reference"`` (the original
+            frozenset implementation).  All three produce bit-identical
+            results, asserted by the differential tests, so the cache key
+            is engine-independent.
         use_cache: memoize the result behind a content key (DFG digest +
             region + parameters) in :mod:`repro.cache`.  Only plain
             :class:`HardwareCostModel` instances are content-addressable;
@@ -393,7 +396,7 @@ def mlgp_partition(
     Returns:
         An :class:`MlgpResult` with disjoint feasible partitions.
     """
-    if engine not in ("fast", "reference"):
+    if engine not in ("fast", "array", "reference"):
         raise ValueError(f"unknown MLGP engine {engine!r}")
     key = None
     if use_cache and type(model) is HardwareCostModel:
@@ -415,8 +418,14 @@ def mlgp_partition(
                 areas=tuple(cached["areas"]),
             )
     with obs.span("mlgp.partition", nodes=len(region), engine=engine):
-        if engine == "fast":
-            (partitions, gains, areas), counters = run_fast_mlgp(
+        if engine in ("fast", "array"):
+            if engine == "array":
+                from repro.mlgp.mlgp_array import run_array_mlgp
+
+                runner = run_array_mlgp
+            else:
+                runner = run_fast_mlgp
+            (partitions, gains, areas), counters = runner(
                 dfg, region, max_inputs, max_outputs, model, seed, refine_passes
             )
             result = MlgpResult(

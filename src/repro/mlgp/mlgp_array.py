@@ -1,0 +1,189 @@
+"""Array-native MLGP move evaluation (``engine="array"``).
+
+Rides on the bitset fast path (:mod:`repro.mlgp.mlgp_fast`) and batches
+the part of its move evaluation that is *not* already incremental: at the
+start of every refinement pass, the source-remainder masks of the pass's
+candidate moves (``source \\ moving-vertex`` for every boundary vertex at
+pass-start state) are scored **in one array pass** over packed uint64
+bitset matrices —
+
+* the remainder masks are packed into one ``(B, n_words)`` matrix;
+* member pred/anc/desc unions come from one gather +
+  ``np.bitwise_or.reduceat`` over the concatenated member rows;
+* input-port counts are per-row popcounts, output-port counts one
+  per-member external-successor test, convexity one boolean reduction —
+  ``(U_anc & U_desc & ~S) == 0`` — over the whole batch.
+
+The verdicts land in the *same* feasibility/I/O memo tables the scalar
+``_try_move`` consults, so the refinement loop itself — visit order, RNG
+stream, tie-breaks, float arithmetic — is byte-for-byte the fast
+engine's and results stay bit-identical to both oracles.
+
+Why only the remainders: a move's *candidate* mask is the disjoint union
+of two already-projected masks, so the fast engine scores it with a
+memoized O(words) combination (:meth:`_Ctx.feasible_union`) — batching it
+would pay a per-int ``pack_masks`` conversion for no asymptotic win.  The
+source remainder is the one mask evaluated *from scratch* — an
+O(members) Python bit loop in :meth:`_Ctx.comp` — which is exactly the
+shape vectorization beats, and it grows with partition size (the big
+coarse partitions of the early uncoarsening levels).  Repair sequences
+(vertex absorption, inherently sequential) and gain/area ratios (a float
+DP whose summation order defines the bit-exact oracle floats, memoized
+per mask) stay scalar.
+
+Cost-model subclasses delegate to the fast engine wholesale: a stateful
+``subgraph_cost`` override could observe evaluation-order differences if
+the prefill warmed cost memos for masks the scalar loop never visits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro import npbits
+from repro.graphs.dfg import DataFlowGraph
+from repro.isa.costmodel import HardwareCostModel
+from repro.mlgp.mlgp_fast import _Ctx, _run_bitset_mlgp, run_fast_mlgp
+
+__all__ = ["run_array_mlgp", "ARRAY_MIN_BATCH"]
+
+#: Hybrid dispatch threshold (empirical): a refinement pass with fewer
+#: unmemoized source-remainder masks than this skips the batched prefill
+#: — the per-call NumPy overhead outweighs the batching win and the
+#: scalar ``_Ctx.comp`` path (identical results) is faster.  Tests pin it
+#: to 0 to force the array kernel on small workloads.
+ARRAY_MIN_BATCH = 16
+
+
+class _BatchEval:
+    """Packed per-node constant matrices + batched feasibility scoring."""
+
+    def __init__(self, ctx: _Ctx) -> None:
+        self.ctx = ctx
+        n = len(ctx.pred)
+        W = npbits.n_words(n)
+        self.W = W
+        self.PRED = npbits.pack_masks(ctx.pred, W)
+        self.SUCC = npbits.pack_masks(ctx.succ, W)
+        self.ANC = npbits.pack_masks(ctx.anc, W)
+        self.DESC = npbits.pack_masks(ctx.desc, W)
+        self.EXT = np.array(ctx.ext_in, dtype=np.int64)
+        live_row = npbits.pack_masks([ctx.live_out], W)
+        self.live_flag = npbits.unpack_bits(live_row, n)[0].astype(bool)
+        self.invalid_row = npbits.pack_masks(
+            [ctx.masks.full & ~ctx.valid], W
+        )[0]
+
+    def feasibility(
+        self, masks: list[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched ``_Ctx.feasible``/``_Ctx.io`` over non-empty int masks.
+
+        Returns ``(feasible, inputs, outputs)`` arrays; integer-exact, so
+        the verdicts equal the scalar memo values bit for bit.
+        """
+        rows = npbits.pack_masks(masks, self.W)
+        counts = npbits.popcount_rows(rows)
+        starts = np.concatenate(([0], counts.cumsum()[:-1]))
+        members, _ranks = npbits.set_bits_csr(rows)
+        owner = np.arange(rows.shape[0], dtype=np.int64).repeat(counts)
+        # Garbage bits past ``n`` in ``not_sub`` are cleared by the ANDs
+        # below (every constant row is a subset of ``full``).
+        not_sub = ~rows
+        predu = np.bitwise_or.reduceat(
+            self.PRED.take(members, axis=0), starts, axis=0
+        )
+        ancu = np.bitwise_or.reduceat(
+            self.ANC.take(members, axis=0), starts, axis=0
+        )
+        descu = np.bitwise_or.reduceat(
+            self.DESC.take(members, axis=0), starts, axis=0
+        )
+        inputs = npbits.popcount_rows(predu & not_sub) + np.add.reduceat(
+            self.EXT.take(members), starts
+        )
+        is_out = npbits.nonzero_rows(
+            self.SUCC.take(members, axis=0) & not_sub.take(owner, axis=0)
+        ) | self.live_flag.take(members)
+        outputs = np.add.reduceat(is_out.astype(np.int64), starts)
+        convex = ~npbits.nonzero_rows(ancu & descu & not_sub)
+        feasible = (
+            (inputs <= self.ctx.max_inputs)
+            & (outputs <= self.ctx.max_outputs)
+            & convex
+            & ~npbits.nonzero_rows(rows & self.invalid_row)
+        )
+        return feasible, inputs, outputs
+
+
+def _get_batch(ctx: _Ctx) -> _BatchEval:
+    b = getattr(ctx, "_array_batch", None)
+    if b is None:
+        b = _BatchEval(ctx)
+        ctx._array_batch = b
+    return b
+
+
+def _prefill(state) -> None:
+    """Batch-score the pass's source-remainder masks into the memo tables.
+
+    A boundary vertex ``v``'s repair-free moves all share one remainder
+    mask (``source partition \\ v``, independent of the destination), so
+    the pass needs at most one from-scratch projection per boundary
+    vertex.  Those not already memoized are scored in a single
+    :meth:`_BatchEval.feasibility` call; the scalar ``_try_move`` then
+    reads the verdicts back as pure memo hits.  No RNG is consumed and
+    the tables are keyed by mask, so fill order cannot influence results.
+    """
+    ctx = state.ctx
+    assign = state.assign
+    vertices = state.level.vertices
+    part_mask = state.part_mask
+    feas_memo = ctx._feas_memo
+    io_memo = ctx._io_memo
+
+    todo: set[int] = set()
+    for v, f in enumerate(state.foreign):
+        if f <= 0:
+            continue
+        rest = part_mask[assign[v]] & ~vertices[v]
+        if rest and rest not in feas_memo:
+            todo.add(rest)
+    if not todo or len(todo) < ARRAY_MIN_BATCH:
+        return
+    rest_todo = sorted(todo)
+    feas_r, in_r, out_r = _get_batch(ctx).feasibility(rest_todo)
+    for i, m in enumerate(rest_todo):
+        feas_memo[m] = bool(feas_r[i])
+        io_memo[m] = (int(in_r[i]), int(out_r[i]))
+
+
+def run_array_mlgp(
+    dfg: DataFlowGraph,
+    region: Sequence[int],
+    max_inputs: int,
+    max_outputs: int,
+    model: HardwareCostModel,
+    seed: int,
+    refine_passes: int,
+) -> tuple[
+    tuple[tuple[frozenset[int], ...], tuple[float, ...], tuple[float, ...]],
+    dict[str, int],
+]:
+    """Run the array MLGP engine on one region (see module docstring)."""
+    if type(model) is not HardwareCostModel:
+        return run_fast_mlgp(
+            dfg, region, max_inputs, max_outputs, model, seed, refine_passes
+        )
+    return _run_bitset_mlgp(
+        dfg,
+        region,
+        max_inputs,
+        max_outputs,
+        model,
+        seed,
+        refine_passes,
+        prefill=_prefill,
+    )

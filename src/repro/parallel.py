@@ -113,7 +113,12 @@ def parallel_map(
         fn: module-level (picklable) worker function.
         jobs: job inputs; results come back in job order.
         workers: with > 1 and more than one job, fan out over that many
-            processes; otherwise run serially.  If the pool cannot be
+            processes; otherwise run serially.  A single-core host
+            (``os.cpu_count() <= 1``) also runs serially — spinning up a
+            pool there costs fork/pickle overhead with no parallelism to
+            gain — and, like ``workers=1``, does so silently: declining
+            a fan-out that cannot help is not a degradation, so no
+            warning is emitted.  If the pool cannot be
             created (``OSError``/``PermissionError``, e.g. a sandbox
             without process support) or breaks mid-map
             (:class:`~concurrent.futures.BrokenExecutor`: a worker was
@@ -139,6 +144,7 @@ def parallel_map(
         workers is not None
         and workers > 1
         and n > 1
+        and (os.cpu_count() or 1) > 1
         and not os.environ.get(_ENV_NO_POOL)
     )
     obs.inc("parallel.maps")

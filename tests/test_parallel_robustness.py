@@ -62,6 +62,14 @@ def _rearm_warning():
     parallel._reset_warning()
 
 
+@pytest.fixture
+def multicore(monkeypatch):
+    """Pretend the host has CPUs to spare: single-core hosts skip the
+    pool by design, so tests exercising pool behaviour must fake the
+    core count (pool *creation* works fine on one core)."""
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)
+
+
 class TestHappyPaths:
     def test_serial_when_workers_none(self):
         assert parallel_map(_square, [1, 2, 3], workers=None) == [1, 4, 9]
@@ -69,7 +77,7 @@ class TestHappyPaths:
     def test_serial_single_job(self):
         assert parallel_map(_square, [5], workers=8) == [25]
 
-    def test_parallel_matches_serial(self):
+    def test_parallel_matches_serial(self, multicore):
         jobs = list(range(6))
         assert parallel_map(_square, jobs, workers=2) == [
             _square(j) for j in jobs
@@ -78,7 +86,7 @@ class TestHappyPaths:
 
 class TestDegradedPaths:
     @needs_pool
-    def test_worker_crash_retries_serially(self, caplog):
+    def test_worker_crash_retries_serially(self, multicore, caplog):
         with caplog.at_level("WARNING", logger="repro.parallel"):
             out = parallel_map(
                 _crash_in_worker, [1, 2, 3, 4], workers=2, label="crashers"
@@ -88,14 +96,14 @@ class TestDegradedPaths:
         assert any("BrokenProcessPool" in r.message for r in caplog.records)
 
     @needs_pool
-    def test_crash_warning_is_one_shot(self, caplog):
+    def test_crash_warning_is_one_shot(self, multicore, caplog):
         with caplog.at_level("WARNING", logger="repro.parallel"):
             parallel_map(_crash_in_worker, [1, 2], workers=2)
             parallel_map(_crash_in_worker, [3, 4], workers=2)
         assert len(caplog.records) == 1
 
     @needs_pool
-    def test_crash_warning_rearmed_by_obs_reset(self, caplog):
+    def test_crash_warning_rearmed_by_obs_reset(self, multicore, caplog):
         with caplog.at_level("WARNING", logger="repro.parallel"):
             parallel_map(_crash_in_worker, [1, 2], workers=2)
             obs.reset()
@@ -103,7 +111,7 @@ class TestDegradedPaths:
         assert len(caplog.records) == 2
 
     @needs_pool
-    def test_timeout_is_hard_deadline(self, caplog):
+    def test_timeout_is_hard_deadline(self, multicore, caplog):
         """An exhausted budget raises instead of silently running serially."""
         before = obs.metrics_snapshot()["counters"]
         start = time.monotonic()
@@ -123,7 +131,7 @@ class TestDegradedPaths:
             "parallel.retry_deadline_exceeded", 0
         )
 
-    def test_generous_timeout_completes(self):
+    def test_generous_timeout_completes(self, multicore):
         """A budget that is not exhausted behaves like no timeout at all."""
         out = parallel_map(_square, [1, 2, 3], workers=2, timeout=60.0)
         assert out == [1, 4, 9]
@@ -135,6 +143,34 @@ class TestDegradedPaths:
                 _slow_everywhere, list(range(8)), workers=None, timeout=0.12,
                 label="serial sleepers",
             )
+
+    def test_single_core_host_skips_pool_silently(self, monkeypatch, caplog):
+        """With one CPU there is no parallelism to gain: no pool is
+        spun up and no degradation warning fires — serial-by-design is
+        not a degradation."""
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        before = obs.metrics_snapshot()["counters"]
+        with caplog.at_level("WARNING", logger="repro.parallel"):
+            # _crash_in_worker would break any pool; serial results prove
+            # no pool was ever created.
+            out = parallel_map(_crash_in_worker, [1, 2, 3], workers=4)
+        assert out == [101, 102, 103]
+        assert not caplog.records
+        after = obs.metrics_snapshot()["counters"]
+        assert after.get("parallel.pool_failures", 0) == before.get(
+            "parallel.pool_failures", 0
+        )
+
+    def test_cpu_count_none_treated_as_single_core(self, monkeypatch):
+        """``os.cpu_count()`` may return None; treat it as one core."""
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert parallel_map(_crash_in_worker, [1, 2], workers=4) == [101, 102]
+
+    def test_workers_one_skips_pool_silently(self, caplog):
+        with caplog.at_level("WARNING", logger="repro.parallel"):
+            out = parallel_map(_crash_in_worker, [1, 2, 3], workers=1)
+        assert out == [101, 102, 103]
+        assert not caplog.records
 
     def test_env_kill_switch_forces_serial(self, monkeypatch):
         monkeypatch.setenv("REPRO_NO_PROCESS_POOL", "1")
@@ -150,6 +186,6 @@ class TestErrorPropagation:
         with pytest.raises(ValueError, match="job 1 is bad"):
             parallel_map(_raise_value_error, [1, 2], workers=None)
 
-    def test_fn_exception_propagates_from_pool(self):
+    def test_fn_exception_propagates_from_pool(self, multicore):
         with pytest.raises(ValueError, match="is bad"):
             parallel_map(_raise_value_error, [1, 2, 3], workers=2)

@@ -26,29 +26,29 @@ from repro.workloads import get_program
 from tests.conftest import random_small_dfg
 
 
-def _mlgp_pair(dfg, region, seed, **kw):
-    ref = mlgp_partition(
-        dfg, region, seed=seed, engine="reference", use_cache=False, **kw
+def _mlgp_trio(dfg, region, seed, **kw):
+    """(reference, fast, array) results for one region under one seed."""
+    return tuple(
+        mlgp_partition(
+            dfg, region, seed=seed, engine=eng, use_cache=False, **kw
+        )
+        for eng in ("reference", "fast", "array")
     )
-    fast = mlgp_partition(
-        dfg, region, seed=seed, engine="fast", use_cache=False, **kw
-    )
-    return ref, fast
 
 
 class TestMlgpDifferential:
     @pytest.mark.parametrize("seed", range(10))
     @pytest.mark.parametrize("n", (10, 18))
     def test_random_dfgs_bit_identical(self, seed, n):
-        """20 seeded random workloads: fast == reference, bitwise."""
+        """20 seeded random workloads: fast == array == reference, bitwise."""
         dfg = random_small_dfg(seed, n=n)
         for region in dfg.regions():
             if len(region) < 2:
                 continue
-            ref, fast = _mlgp_pair(dfg, region, seed)
-            assert ref.partitions == fast.partitions
-            assert ref.gains == fast.gains
-            assert ref.areas == fast.areas
+            ref, fast, arr = _mlgp_trio(dfg, region, seed)
+            assert ref.partitions == fast.partitions == arr.partitions
+            assert ref.gains == fast.gains == arr.gains
+            assert ref.areas == fast.areas == arr.areas
 
     @pytest.mark.parametrize("name", ("sha", "adpcm"))
     def test_benchmark_regions_bit_identical(self, name):
@@ -57,21 +57,59 @@ class TestMlgpDifferential:
             for region in blk.dfg.regions():
                 if len(region) < 2:
                     continue
-                ref, fast = _mlgp_pair(blk.dfg, region, bi)
+                ref, fast, arr = _mlgp_trio(blk.dfg, region, bi)
                 assert (ref.partitions, ref.gains, ref.areas) == (
                     fast.partitions,
                     fast.gains,
                     fast.areas,
-                )
+                ) == (arr.partitions, arr.gains, arr.areas)
 
     def test_port_constraint_sweep(self):
         dfg = random_small_dfg(3, n=16)
         region = max(dfg.regions(), key=len)
         for mi, mo in ((2, 1), (3, 2), (6, 3)):
-            ref, fast = _mlgp_pair(
+            ref, fast, arr = _mlgp_trio(
                 dfg, region, 7, max_inputs=mi, max_outputs=mo
             )
-            assert ref.partitions == fast.partitions
+            assert ref.partitions == fast.partitions == arr.partitions
+
+    def test_array_forced_batch_kernel_bit_identical(self, monkeypatch):
+        """Pin the batch threshold to 0 so even tiny passes go through the
+        vectorized scoring kernel, then demand bitwise equality with the
+        fast engine on real benchmark regions."""
+        from repro.mlgp import mlgp_array
+
+        monkeypatch.setattr(mlgp_array, "ARRAY_MIN_BATCH", 0)
+        prog = get_program("sha")
+        for bi, blk in enumerate(prog.basic_blocks):
+            for region in blk.dfg.regions():
+                if len(region) < 2:
+                    continue
+                fast = mlgp_partition(
+                    blk.dfg, region, seed=bi, engine="fast", use_cache=False
+                )
+                arr = mlgp_partition(
+                    blk.dfg, region, seed=bi, engine="array", use_cache=False
+                )
+                assert (fast.partitions, fast.gains, fast.areas) == (
+                    arr.partitions,
+                    arr.gains,
+                    arr.areas,
+                )
+
+    def test_array_counters_match_fast(self):
+        """The prefill must not change the search: identical mlgp.moves and
+        mlgp.repairs tallies, not just identical final partitions."""
+        dfg = random_small_dfg(8, n=18)
+        region = max(dfg.regions(), key=len)
+
+        def counters(engine):
+            obs.reset()
+            mlgp_partition(dfg, region, seed=4, engine=engine, use_cache=False)
+            snap = obs.metrics_snapshot()["counters"]
+            return {k: v for k, v in snap.items() if k.startswith("mlgp.")}
+
+        assert counters("fast") == counters("array")
 
     def test_seed_determinism(self):
         """Same seed -> same result; the seed is part of the cache key."""
