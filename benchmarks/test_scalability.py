@@ -91,9 +91,11 @@ def test_scalability_enumeration(benchmark):
         # subgraphs inside the same budget.  Per-candidate microseconds is
         # the comparable figure; the array engine wins in the hot-block
         # size range real programs produce (tens to a few hundred ops) and
-        # cedes to bitset on very large budget-bound blocks, where its
-        # level frontier outgrows the cache.  Bit-identity under
-        # non-binding budgets is tests/test_enumeration_differential.py.
+        # delegates very large blocks (>= ARRAY_MAX_NODES ops, where its
+        # level frontier outgrows the cache) back to the bitset kernel, so
+        # engine="array" is a safe default at every size.  Bit-identity
+        # under non-binding budgets is
+        # tests/test_enumeration_differential.py.
         lines = [
             "block_ops  bitset_cands  array_cands  bitset_ms  array_ms"
             "  bitset_us_per_cand  array_us_per_cand"
@@ -121,6 +123,19 @@ def test_scalability_enumeration(benchmark):
     # Budgeted enumeration: bounded wall time even at 2000 ops.
     assert all(float(l.split()[3]) < 15_000 for l in lines[1:])
     assert all(float(l.split()[4]) < 15_000 for l in lines[1:])
+    # Soft regression guard on the hybrid dispatch: with the
+    # ARRAY_MIN_NODES/ARRAY_MAX_NODES cutoffs in place the array engine
+    # should never lose to bitset by more than ~10% at any block size
+    # (below/above the cutoffs it *is* the bitset kernel plus dispatch
+    # overhead).  The generous absolute slack absorbs timer noise on the
+    # short small-block runs and CI jitter.
+    for line in lines[1:]:
+        cols = line.split()
+        bitset_ms, array_ms = float(cols[3]), float(cols[4])
+        assert array_ms <= 1.10 * bitset_ms + 75.0, (
+            f"array engine regressed at {cols[0]} ops: "
+            f"{array_ms:.1f}ms vs bitset {bitset_ms:.1f}ms"
+        )
 
 
 def test_scalability_kway(benchmark):

@@ -1,0 +1,169 @@
+"""Customization-as-a-service throughput harness (``BENCH_service.json``).
+
+Measures what the job server buys over batch CLI invocations on a
+repeated mixed chapter-3-to-7 workload (identify / curve / pareto / mlgp
+/ reconfig / mtreconfig):
+
+* ``serial_sweep_s`` — the baseline: every job computed directly with
+  cold caches, like a loop of independent ``repro`` CLI invocations
+  (each CLI process starts with an empty in-process cache; process
+  startup itself is *not* charged, so the baseline is conservative);
+* ``cold_sweep_s``   — the same sweep submitted through the server with
+  cold caches: the one-time cost of filling the result store;
+* ``warm_sweep_s``   — the sweep repeated through the server: every
+  submit is an at-rest result hit;
+* the coalescing phase — N concurrent identical requests against a cold
+  key must collapse to exactly one computation (the counter is asserted
+  here and recorded in the payload).
+
+The server runs inline (no process pool): the bench measures dedup and
+cache-tier effects, not process fan-out, and inline keeps it meaningful
+under the chaos job's ``REPRO_NO_PROCESS_POOL=1``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from benchmarks.common import emit_json, once
+from repro import cache
+from repro.service import jobs as jobs_mod
+from repro.service.client import ServiceClient
+from repro.service.server import ServerThread
+
+#: One sweep of the mixed workload: every pipeline chapter represented,
+#: sized so a sweep stays in CI scale.
+MIX: tuple[tuple[str, dict], ...] = (
+    ("identify", {"benchmark": "crc32"}),
+    ("identify", {"benchmark": "bitcount"}),
+    ("curve", {"benchmark": "crc32"}),
+    ("curve", {"benchmark": "sha"}),
+    ("pareto", {"benchmarks": ["crc32", "bitcount"]}),
+    ("mlgp", {"benchmarks": ["crc32"], "utilization": 1.05}),
+    ("reconfig", {}),
+    ("mtreconfig", {"benchmarks": [], "tasks": 6}),
+)
+
+#: Warm sweeps through the service (the repeated-workload phase).
+WARM_SWEEPS = 5
+#: Concurrent identical requests in the coalescing phase.
+COALESCE_CLIENTS = 8
+
+
+def _serial_sweep() -> float:
+    """The equivalent serial CLI loop: cold caches for every job."""
+    t0 = time.perf_counter()
+    for kind, params in MIX:
+        cache.clear()  # each CLI invocation starts cold
+        _, norm = jobs_mod.resolve_job(kind, params)
+        jobs_mod.compute_job(kind, norm)
+    return time.perf_counter() - t0
+
+
+def _sweep_via(client: ServiceClient) -> tuple[float, list[dict]]:
+    t0 = time.perf_counter()
+    rows = []
+    for kind, params in MIX:
+        t1 = time.perf_counter()
+        resp = client.submit(kind, params)
+        rows.append({
+            "kind": kind,
+            "latency_s": time.perf_counter() - t1,
+            "disposition": resp["disposition"],
+        })
+    return time.perf_counter() - t0, rows
+
+
+def _coalesce_phase(address: dict) -> dict:
+    """N concurrent identical cold requests; returns the dedup counters."""
+    cache.clear()  # make the key cold again
+    results: list[str] = []
+    lock = threading.Lock()
+
+    def go() -> None:
+        with ServiceClient(**address) as c:
+            resp = c.submit("curve", {"benchmark": "sha"})
+            with lock:
+                results.append(resp["disposition"])
+
+    threads = [threading.Thread(target=go) for _ in range(COALESCE_CLIENTS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return {
+        "clients": COALESCE_CLIENTS,
+        "dispositions": sorted(results),
+        "computed": results.count("queued"),
+        "coalesced": results.count("coalesced"),
+        "cached": results.count("cached"),
+    }
+
+
+def test_service_perf(benchmark):
+    def run() -> dict:
+        cache.set_enabled(True)
+        cache.set_cache_dir(None)
+        cache.reset_backend()
+        try:
+            serial_s = _serial_sweep()
+
+            cache.clear()
+            with ServerThread(use_processes=False, workers=2) as srv:
+                with ServiceClient(**srv.address) as client:
+                    cold_s, cold_rows = _sweep_via(client)
+                    warm_t0 = time.perf_counter()
+                    warm_rows: list[dict] = []
+                    for _ in range(WARM_SWEEPS):
+                        sweep_s, rows = _sweep_via(client)
+                        warm_rows.extend(rows)
+                    warm_total = time.perf_counter() - warm_t0
+                    coalesce = _coalesce_phase(srv.address)
+                    counters = client.stats()["counters"]
+
+            warm_sweep_s = warm_total / WARM_SWEEPS
+            n_jobs = len(MIX)
+            payload = {
+                "bench": "service",
+                "mix": [
+                    {"kind": k, "params": p} for k, p in MIX
+                ],
+                "warm_sweeps": WARM_SWEEPS,
+                "serial_sweep_s": serial_s,
+                "cold_sweep_s": cold_s,
+                "warm_sweep_s": warm_sweep_s,
+                "speedup_warm_vs_serial": serial_s / max(warm_sweep_s, 1e-9),
+                "jobs_per_sec_warm": n_jobs * WARM_SWEEPS / max(
+                    warm_total, 1e-9
+                ),
+                "warm_hit_rate": sum(
+                    r["disposition"] == "cached" for r in warm_rows
+                ) / len(warm_rows),
+                "cold_latency_s": {
+                    r["kind"]: r["latency_s"] for r in cold_rows
+                },
+                "coalescing": coalesce,
+                "coalescing_ratio": coalesce["coalesced"] / coalesce["clients"],
+                "server_counters": counters,
+            }
+            return payload
+        finally:
+            cache.reset_cache_dir()
+            cache.reset_backend()
+            cache.clear()
+
+    payload = once(benchmark, run)
+    emit_json("BENCH_service", payload)
+
+    # Exactly-once under concurrency: the dedup contract of the service.
+    assert payload["coalescing"]["computed"] == 1, payload["coalescing"]
+    assert (
+        payload["coalescing"]["coalesced"] + payload["coalescing"]["cached"]
+        == COALESCE_CLIENTS - 1
+    )
+    # Every warm submit was an at-rest hit.
+    assert payload["warm_hit_rate"] == 1.0
+    # Acceptance bar: a warm sweep through the service beats the serial
+    # cold CLI loop by >= 5x (in practice it is orders of magnitude).
+    assert payload["speedup_warm_vs_serial"] >= 5.0, payload

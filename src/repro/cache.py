@@ -28,8 +28,20 @@ a ``.corrupt`` suffix and a warning is logged once per observability epoch
 metric; see :func:`repro.obs.reset`), never an exception, never a wrong
 payload.
 
+*Storage* of the persistent tier is pluggable (:mod:`repro.cache_backends`):
+the default :class:`~repro.cache_backends.LocalDirBackend` keeps one JSON
+file per entry under ``REPRO_CACHE_DIR`` with **LRU-by-mtime eviction**
+under ``REPRO_CACHE_MAX_BYTES`` / ``REPRO_CACHE_MAX_ENTRIES`` budgets;
+``REPRO_CACHE_BACKEND=shared`` selects the multi-host variant for shared
+filesystems, and tests/embedders can :func:`set_backend` a
+:class:`~repro.cache_backends.MemoryBackend`.  Envelope validation (this
+module) is backend-independent, so every tier gets the same checksum and
+quarantine guarantees.
+
 Hit/miss accounting is mirrored into :mod:`repro.obs` under
-``cache.<kind>.hits`` / ``.misses`` / ``.disk_hits``.
+``cache.<kind>.hits`` / ``.misses`` / ``.disk_hits``; the persistent
+tier's occupancy/eviction/contention counters live under ``cache.disk.*``
+and in the ``"disk"`` section of :func:`stats`.
 """
 
 from __future__ import annotations
@@ -38,7 +50,6 @@ import hashlib
 import json
 import logging
 import os
-import tempfile
 import threading
 import weakref
 from collections import OrderedDict
@@ -46,15 +57,18 @@ from collections.abc import Callable, Iterable, Sequence
 from pathlib import Path
 from typing import Any
 
-from repro import obs
+from repro import cache_backends, obs
+from repro.cache_backends import CacheBackend
 from repro.enumeration.patterns import Candidate
 from repro.graphs.program import Block, IfElse, Loop, Program, Seq
 from repro.selection.config_curve import TaskConfiguration
 
 __all__ = [
     "artifact_key",
+    "active_backend",
     "cache_dir",
     "cache_info",
+    "disk_stats",
     "registered_kinds",
     "stats",
     "candidates_digest",
@@ -69,10 +83,13 @@ __all__ = [
     "fetch_pareto",
     "fetch_partition",
     "fetch_selection",
+    "fetch_service_result",
     "hot_loops_digest",
     "program_fingerprint",
     "reconfig_tasks_digest",
+    "reset_backend",
     "reset_cache_dir",
+    "set_backend",
     "set_cache_dir",
     "set_enabled",
     "store_candidates",
@@ -83,6 +100,7 @@ __all__ = [
     "store_pareto",
     "store_partition",
     "store_selection",
+    "store_service_result",
     "taskset_digest",
 ]
 
@@ -109,15 +127,10 @@ def _warn_corrupt_once(path: Path, reason: str) -> None:
         )
 
 
-def _quarantine(path: Path, reason: str) -> None:
+def _quarantine(backend: CacheBackend, entry: str, reason: str) -> None:
     """Move a corrupt entry aside so it is never re-read, and log once."""
-    try:
-        os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
-    except OSError:
-        # Read-only directory: leave the file; reads keep treating it as
-        # a miss, so correctness is unaffected.
-        pass
-    _warn_corrupt_once(path, reason)
+    backend.quarantine(entry, reason)
+    _warn_corrupt_once(Path(entry), reason)
 
 
 def _payload_checksum(payload: Any) -> str:
@@ -186,8 +199,12 @@ _PARTITIONS = _register_kind("partition", maxsize=256)
 _MLGP = _register_kind("mlgp", maxsize=4096)
 _KSOLUTIONS = _register_kind("ksolutions", maxsize=1024)
 _MTSOLUTIONS = _register_kind("mtsolution", maxsize=512)
+_SERVICE = _register_kind("service", maxsize=1024)
 _enabled = True
 _dir_override: Path | None | str = ""  # "" means "follow the environment"
+_backend_override: CacheBackend | None | str = ""  # "" = derive from dir/env
+#: Memoized auto-constructed backend: (directory, env signature) -> backend.
+_auto_backend: tuple[tuple, CacheBackend] | None = None
 
 
 def set_enabled(enabled: bool) -> None:
@@ -222,21 +239,72 @@ def cache_dir() -> Path | None:
     return Path(env) if env else None
 
 
+def set_backend(backend: CacheBackend | None) -> None:
+    """Override the persistent-tier backend (``None`` disables the tier).
+
+    Takes precedence over :func:`set_cache_dir` / ``REPRO_CACHE_DIR``; use
+    :func:`reset_backend` to drop the override and derive the backend from
+    the directory and ``REPRO_CACHE_BACKEND`` again.
+    """
+    global _backend_override
+    _backend_override = backend
+
+
+def reset_backend() -> None:
+    """Drop any :func:`set_backend` override and the memoized auto
+    backend; follow the directory/environment again."""
+    global _backend_override, _auto_backend
+    _backend_override = ""
+    _auto_backend = None
+
+
+def active_backend() -> CacheBackend | None:
+    """The persistent-tier backend in effect, or ``None`` when disabled.
+
+    Without a :func:`set_backend` override the backend is constructed from
+    :func:`cache_dir` and the ``REPRO_CACHE_BACKEND`` /
+    ``REPRO_CACHE_MAX_BYTES`` / ``REPRO_CACHE_MAX_ENTRIES`` environment,
+    and memoized until any of those change.
+    """
+    global _auto_backend
+    if _backend_override != "":
+        return _backend_override  # type: ignore[return-value]
+    d = cache_dir()
+    if d is None:
+        return None
+    sig = (
+        str(d),
+        os.environ.get(cache_backends.ENV_BACKEND),
+        os.environ.get(cache_backends.ENV_MAX_BYTES),
+        os.environ.get(cache_backends.ENV_MAX_ENTRIES),
+    )
+    if _auto_backend is not None and _auto_backend[0] == sig:
+        return _auto_backend[1]
+    backend = cache_backends.backend_from_env(d)
+    _auto_backend = (sig, backend)
+    # Seed the cache.disk.* occupancy gauges so even read-only runs
+    # surface the tier in metrics snapshots / trace summaries.
+    backend.stats()
+    return backend
+
+
+def disk_stats() -> dict[str, Any] | None:
+    """Occupancy/eviction/contention stats of the persistent tier, or
+    ``None`` when no backend is active (the ``"disk"`` row of
+    :func:`stats`)."""
+    backend = active_backend()
+    return backend.stats() if backend is not None else None
+
+
 def clear(disk: bool = False) -> None:
     """Drop all in-process entries of every registered kind, zero every
-    hit/miss counter (and optionally delete the on-disk files)."""
+    hit/miss counter (and optionally delete the persistent-tier entries)."""
     for lru in _KINDS.values():
         lru.clear()
     if disk:
-        d = cache_dir()
-        if d is not None and d.is_dir():
-            for pattern in (
-                "repro-cache-*.json",
-                "repro-cache-*.json.corrupt",
-                "repro-cache-*.tmp",
-            ):
-                for f in d.glob(pattern):
-                    f.unlink(missing_ok=True)
+        backend = active_backend()
+        if backend is not None:
+            backend.clear()
 
 
 def registered_kinds() -> tuple[str, ...]:
@@ -244,16 +312,23 @@ def registered_kinds() -> tuple[str, ...]:
     return tuple(sorted(_KINDS))
 
 
-def stats() -> dict[str, dict[str, int]]:
+def stats() -> dict[str, dict[str, Any]]:
     """Hit/miss/size counters per artifact kind (for tests and reports).
 
-    Derived from the kind registry, so the keys are exactly
-    :func:`registered_kinds` — a kind can never drift out of the report.
+    The per-kind rows are derived from the kind registry, so those keys
+    are exactly :func:`registered_kinds` — a kind can never drift out of
+    the report.  When a persistent-tier backend is active, one extra
+    ``"disk"`` row carries its occupancy/eviction/contention stats
+    (:func:`disk_stats`).
     """
-    return {
+    out: dict[str, dict[str, Any]] = {
         kind: {"hits": lru.hits, "misses": lru.misses, "size": len(lru)}
         for kind, lru in sorted(_KINDS.items())
     }
+    disk = disk_stats()
+    if disk is not None:
+        out["disk"] = disk
+    return out
 
 
 #: Backwards-compatible alias (pre-observability name).
@@ -490,80 +565,61 @@ def _configuration_from_jsonable(d: dict[str, Any]) -> TaskConfiguration:
     )
 
 
-def _disk_path(kind: str, key: str) -> Path | None:
-    d = cache_dir()
-    if d is None:
-        return None
-    return d / f"repro-cache-{kind}-{key[:40]}.json"
+def _entry_name(kind: str, key: str) -> str:
+    return f"repro-cache-{kind}-{key[:40]}.json"
 
 
 def _disk_read(kind: str, key: str) -> Any | None:
-    path = _disk_path(kind, key)
-    if path is None or not path.is_file():
+    backend = active_backend()
+    if backend is None:
         return None
-    try:
-        text = path.read_text()
-    except OSError:
+    entry = _entry_name(kind, key)
+    text = backend.load(entry)
+    if text is None:
         return None
     try:
         data = json.loads(text)
     except json.JSONDecodeError:
         # Truncated write, bit rot, or a foreign file wearing our name.
-        _quarantine(path, "not valid JSON")
+        _quarantine(backend, entry, "not valid JSON")
         return None
     if not isinstance(data, dict):
-        _quarantine(path, "entry is not a JSON object")
+        _quarantine(backend, entry, "entry is not a JSON object")
         return None
     if data.get("schema") != SCHEMA_VERSION:
         # A legitimately stale entry from an older layout: a plain miss
         # (it will be overwritten by the next store), not corruption.
         return None
     if data.get("key") != key:
-        _quarantine(path, "key does not match the file name")
+        _quarantine(backend, entry, "key does not match the file name")
         return None
     payload = data.get("payload")
     try:
         checksum = _payload_checksum(payload)
     except (TypeError, ValueError):
-        _quarantine(path, "payload is not canonically serializable")
+        _quarantine(backend, entry, "payload is not canonically serializable")
         return None
     if data.get("checksum") != checksum:
-        _quarantine(path, "payload checksum mismatch")
+        _quarantine(backend, entry, "payload checksum mismatch")
         return None
+    # A validated hit refreshes the entry's LRU position, so hot
+    # artifacts survive budget-bound eviction sweeps.
+    backend.touch(entry)
     return payload
 
 
 def _disk_write(kind: str, key: str, payload: Any) -> None:
-    path = _disk_path(kind, key)
-    if path is None:
+    backend = active_backend()
+    if backend is None:
         return
-    try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = json.dumps({
-            "schema": SCHEMA_VERSION,
-            "kind": kind,
-            "key": key,
-            "checksum": _payload_checksum(payload),
-            "payload": payload,
-        })
-        # Unique tempfile in the same directory + os.replace: concurrent
-        # writers cannot interleave and readers never observe a torn file.
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=path.name + ".", suffix=".tmp", dir=path.parent
-        )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(entry)
-            os.replace(tmp_name, path)
-        except OSError:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-    except OSError:
-        # A read-only or full cache directory must never fail the pipeline.
-        pass
+    text = json.dumps({
+        "schema": SCHEMA_VERSION,
+        "kind": kind,
+        "key": key,
+        "checksum": _payload_checksum(payload),
+        "payload": payload,
+    })
+    backend.store(_entry_name(kind, key), text)
 
 
 # ----------------------------------------------------------------------
@@ -600,7 +656,7 @@ def _store(
         return
     frozen = tuple(values)
     lru.put(key, frozen)
-    if cache_dir() is not None:
+    if active_backend() is not None:
         _disk_write(kind, key, [encode(v) for v in frozen])
 
 
@@ -624,7 +680,7 @@ def _store_json(lru: _LRUCache, kind: str, key: str, payload: Any) -> None:
     if not _enabled:
         return
     lru.put(key, json.dumps(payload))
-    if cache_dir() is not None:
+    if active_backend() is not None:
         _disk_write(kind, key, payload)
 
 
@@ -696,6 +752,22 @@ def fetch_ksolutions(key: str) -> list[dict[str, Any]] | None:
 def store_ksolutions(key: str, payload: Sequence[dict[str, Any]]) -> None:
     """Memoize the candidate solutions of one configuration count k."""
     _store_json(_KSOLUTIONS, "ksolutions", key, list(payload))
+
+
+def fetch_service_result(key: str) -> dict[str, Any] | None:
+    """Cached :mod:`repro.service` job result (jsonable dict) or None.
+
+    The service's at-rest dedup tier: completed job results are
+    content-keyed like every other artifact, so workers — including
+    workers on *other hosts* sharing a :class:`SharedDirBackend`
+    directory — serve repeated requests straight from the store.
+    """
+    return _fetch_json(_SERVICE, "service", key)
+
+
+def store_service_result(key: str, payload: dict[str, Any]) -> None:
+    """Memoize a completed service job result."""
+    _store_json(_SERVICE, "service", key, payload)
 
 
 def fetch_mtsolution(key: str) -> dict[str, Any] | None:

@@ -16,7 +16,10 @@ Subcommands mirror the library's main flows:
 * ``repro mtreconfig [benchmarks...]`` — Chapter 7 multi-task
   spatial/temporal partitioning (DP, ILP or static solver);
 * ``repro faults <benchmarks...>`` — fault-injection sweep and
-  degraded-mode (single-CFU-failure) robustness report.
+  degraded-mode (single-CFU-failure) robustness report;
+* ``repro serve`` / ``repro submit`` — run the long-lived customization
+  job server (:mod:`repro.service`: bounded priority queue, in-flight
+  coalescing, shared result cache) and submit jobs to it.
 
 Library errors (:class:`repro.errors.ReproError`) are caught at the top
 level and reported as a one-line message with exit status 2 — a bad input
@@ -225,6 +228,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the robustness report JSON here "
                             "(BENCH_faults.json style)")
     _add_obs_flags(p_flt)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the customization job server (coalescing + shared cache)",
+    )
+    p_srv.add_argument("--socket", default=None,
+                       help="serve on this unix socket path instead of TCP")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind host (default 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=7453,
+                       help="TCP bind port (default 7453; 0 = ephemeral)")
+    p_srv.add_argument("--workers", type=int, default=2,
+                       help="concurrent job workers (default 2)")
+    p_srv.add_argument("--queue-size", type=int, default=128,
+                       help="bounded job-queue capacity (default 128)")
+    p_srv.add_argument("--job-timeout", type=float, default=None,
+                       help="hard per-job deadline in seconds")
+    p_srv.add_argument("--inline", action="store_true",
+                       help="run jobs inline instead of in a process pool")
+    _add_obs_flags(p_srv)
+
+    p_sbm = sub.add_parser(
+        "submit", help="submit a job to a running `repro serve` instance"
+    )
+    p_sbm.add_argument("kind", nargs="?", default=None,
+                       help="job kind: identify, curve, pareto, mlgp, "
+                            "reconfig or mtreconfig")
+    p_sbm.add_argument("benchmarks", nargs="*",
+                       help="benchmark name(s) for the job, when it takes any")
+    p_sbm.add_argument("--socket", default=None,
+                       help="connect over this unix socket path")
+    p_sbm.add_argument("--host", default="127.0.0.1")
+    p_sbm.add_argument("--port", type=int, default=7453)
+    p_sbm.add_argument("--params", default=None, metavar="JSON",
+                       help="job parameters as a JSON object "
+                            "(merged over positional benchmarks)")
+    p_sbm.add_argument("--priority", type=int, default=0,
+                       help="queue priority (higher runs earlier)")
+    p_sbm.add_argument("--timeout", type=float, default=None,
+                       help="give up waiting for the result after N seconds")
+    p_sbm.add_argument("--watch", action="store_true",
+                       help="stream the job's lifecycle events as they happen")
+    p_sbm.add_argument("--no-wait", action="store_true",
+                       help="enqueue and print the job id without waiting")
+    p_sbm.add_argument("--stats", action="store_true",
+                       help="print server queue/dedup/cache stats and exit")
+    p_sbm.add_argument("--shutdown", action="store_true",
+                       help="ask the server to stop and exit")
 
     p_tr = sub.add_parser("trace", help="inspect a recorded span trace")
     p_tr.add_argument("action", choices=("summarize",),
@@ -559,6 +610,141 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if robust else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import JobServer
+
+    server = JobServer(
+        workers=args.workers,
+        queue_size=args.queue_size,
+        use_processes=not args.inline,
+        job_timeout=args.job_timeout,
+    )
+
+    async def run() -> None:
+        if args.socket:
+            await server.start_unix(args.socket)
+            print(f"serving on unix socket {args.socket}", file=sys.stderr)
+        else:
+            port = await server.start_tcp(args.host, args.port)
+            print(f"serving on {args.host}:{port}", file=sys.stderr)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; stopping", file=sys.stderr)
+    return 0
+
+
+#: Which parameter the positional benchmark names of ``repro submit``
+#: feed, per job kind.  ``reconfig`` takes hot loops, not benchmarks.
+_SUBMIT_BENCH_PARAM = {
+    "identify": "benchmark",
+    "curve": "benchmark",
+    "pareto": "benchmarks",
+    "mlgp": "benchmarks",
+    "mtreconfig": "benchmarks",
+}
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as json_mod
+    import time
+
+    from repro.service.client import ServiceClient
+
+    address: dict = (
+        {"socket_path": args.socket}
+        if args.socket
+        else {"host": args.host, "port": args.port}
+    )
+    with ServiceClient(**address) as client:
+        if args.stats:
+            stats = client.stats()
+            print(format_table(
+                ["counter", "value"], sorted(stats["counters"].items())
+            ))
+            print(f"queue depth: {stats['queue_depth']}/{stats['queue_size']}"
+                  f"  inflight: {stats['inflight']}"
+                  f"  workers: {stats['workers']}"
+                  f"  pool: {stats['pool']}")
+            disk = stats.get("cache", {}).get("disk")
+            if disk:
+                print(format_table(
+                    ["disk tier", "value"], sorted(disk.items())
+                ))
+            return 0
+        if args.shutdown:
+            client.shutdown()
+            print("server stopping")
+            return 0
+        if not args.kind:
+            raise ReproError(
+                "submit needs a job kind (or --stats / --shutdown)"
+            )
+
+        params: dict = {}
+        if args.benchmarks:
+            slot = _SUBMIT_BENCH_PARAM.get(args.kind)
+            if slot == "benchmark":
+                if len(args.benchmarks) > 1:
+                    raise ReproError(
+                        f"{args.kind} takes a single benchmark, got "
+                        f"{len(args.benchmarks)}"
+                    )
+                params["benchmark"] = args.benchmarks[0]
+            elif slot == "benchmarks":
+                params["benchmarks"] = list(args.benchmarks)
+            else:
+                raise ReproError(
+                    f"{args.kind} does not take positional benchmarks; "
+                    "use --params"
+                )
+        if args.params:
+            try:
+                extra = json_mod.loads(args.params)
+                if not isinstance(extra, dict):
+                    raise ValueError("not a JSON object")
+            except ValueError as exc:
+                raise ReproError(f"bad --params: {exc}") from exc
+            params.update(extra)
+
+        t0 = time.perf_counter()
+        resp = client.submit(
+            args.kind,
+            params,
+            priority=args.priority,
+            wait=not (args.no_wait or args.watch),
+            timeout=args.timeout,
+        )
+        job = resp["job"]
+        if args.watch:
+            for event in client.watch(job["id"]):
+                if event.get("done"):
+                    job = event["job"]
+                    break
+                name = event.get("event", "?")
+                extras = " ".join(
+                    f"{k}={v}" for k, v in sorted(event.items())
+                    if k not in ("ok", "event", "t")
+                )
+                print(f"[{job['id']}] {name} {extras}".rstrip())
+            if job["state"] != "done":
+                raise ReproError(job.get("error", "job failed"))
+        elapsed = time.perf_counter() - t0
+        if args.no_wait and not args.watch:
+            print(f"{job['id']} queued ({resp['disposition']})")
+            return 0
+        print(
+            f"{job['id']} {job['state']} ({resp['disposition']}, "
+            f"{elapsed:.3f}s)"
+        )
+        print(json_mod.dumps(job.get("result"), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     spans, metrics = obs.load_trace(args.file)
     print(format_trace_summary(spans, metrics, top=args.top))
@@ -586,6 +772,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_mtreconfig(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     if args.command == "trace":
         return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

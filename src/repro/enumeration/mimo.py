@@ -107,15 +107,17 @@ def enumerate_connected(
     if engine == "array":
         from repro.enumeration import mimo_array
 
-        if len(dfg) >= mimo_array.ARRAY_MIN_NODES:
+        if mimo_array.ARRAY_MIN_NODES <= len(dfg) < mimo_array.ARRAY_MAX_NODES:
             return mimo_array.enumerate_array(
                 dfg, max_inputs, max_outputs, max_size, max_candidates,
                 min_size, max_visited, stats,
             )
-        # Tiny blocks: per-level NumPy call overhead outweighs batching —
-        # the bitset DFS walks the identical tree faster, so the array
-        # engine delegates (same results whenever budgets/caps don't bind,
-        # and deterministic either way).
+        # Tiny blocks: per-level NumPy call overhead outweighs batching.
+        # Very large blocks: the level frontier's bitset matrices outgrow
+        # the cache and the DFS wins.  Either way the bitset kernel walks
+        # the same tree faster, so the array engine delegates (same
+        # results whenever budgets/caps don't bind, and deterministic
+        # either way).
         return _enumerate_bitset(
             dfg, max_inputs, max_outputs, max_size, max_candidates,
             min_size, max_visited, stats,

@@ -52,7 +52,7 @@ import numpy as np
 from repro import npbits
 from repro.graphs.dfg import DataFlowGraph, DFGMasks
 
-__all__ = ["enumerate_array", "ARRAY_MIN_NODES"]
+__all__ = ["enumerate_array", "ARRAY_MIN_NODES", "ARRAY_MAX_NODES"]
 
 #: Hybrid dispatch threshold (empirical): below this many DFG nodes the
 #: per-level NumPy call overhead outweighs the batching win and the bitset
@@ -60,6 +60,18 @@ __all__ = ["enumerate_array", "ARRAY_MIN_NODES"]
 #: blocks to the bitset kernel (bit-identical whenever budgets/caps do not
 #: bind).  Tests pin it to 0 to drive the array kernel on small graphs.
 ARRAY_MIN_NODES = 24
+
+#: Upper hybrid dispatch threshold (empirical): at and above this many DFG
+#: nodes the level frontier's bitset matrices (``n_words`` grows with the
+#: block, the frontier with the budget) outgrow the cache and the batched
+#: walk loses to the bitset DFS — measured crossovers land between 500 and
+#: 1500 ops depending on the host, so very large blocks delegate to the
+#: bitset kernel too and ``engine="array"`` stays within noise of bitset
+#: at every block size (guarded by ``benchmarks/test_scalability.py``).
+#: Real hot blocks are tens to a few hundred ops; blocks this large are
+#: budget-bound synthetic stress cases where the two engines already
+#: return different (deterministic) candidate sets.
+ARRAY_MAX_NODES = 768
 
 
 class _ArrayConsts:

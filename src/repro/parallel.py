@@ -48,7 +48,7 @@ from typing import Any, TypeVar
 
 from repro import obs
 
-__all__ = ["parallel_map"]
+__all__ = ["parallel_map", "pool_allowed"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -90,6 +90,18 @@ def _warn_once(exc: BaseException, label: str, retried: int = 0) -> None:
 def _reset_warning() -> None:
     """Re-arm the per-epoch degradation warning (test hook)."""
     obs.rearm_warning(_WARN_KEY)
+
+
+def pool_allowed() -> bool:
+    """Is a process pool worth attempting in this environment?
+
+    The single policy shared by :func:`parallel_map` and the job server
+    (:class:`repro.service.server.JobServer`): ``False`` on single-core
+    hosts (no parallelism to gain) and when the ``REPRO_NO_PROCESS_POOL``
+    kill switch is set.  A ``True`` answer is *advisory* — pool creation
+    can still fail at runtime and callers must degrade, not crash.
+    """
+    return (os.cpu_count() or 1) > 1 and not os.environ.get(_ENV_NO_POOL)
 
 
 def _captured_job(fn: Callable[[_T], _R], job: _T) -> tuple[_R, dict]:
@@ -140,13 +152,7 @@ def parallel_map(
     job_list: Sequence[Any] = list(jobs)
     n = len(job_list)
     deadline = time.monotonic() + timeout if timeout is not None else None
-    use_pool = (
-        workers is not None
-        and workers > 1
-        and n > 1
-        and (os.cpu_count() or 1) > 1
-        and not os.environ.get(_ENV_NO_POOL)
-    )
+    use_pool = workers is not None and workers > 1 and n > 1 and pool_allowed()
     obs.inc("parallel.maps")
     results: list[Any] = [_MISSING] * n
     timed_out = False

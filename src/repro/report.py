@@ -170,11 +170,29 @@ def _cache_ratio_rows(counters: dict) -> list[tuple[str, int, int, int, str]]:
     return rows
 
 
+def _disk_tier_rows(
+    counters: dict, gauges: dict
+) -> list[tuple[str, object]]:
+    """Occupancy/eviction/contention rows from the ``cache.disk.*``
+    metrics published by the persistent cache backends."""
+    named = [
+        ("bytes", gauges.get("cache.disk.bytes")),
+        ("entries", gauges.get("cache.disk.entries")),
+        ("sweeps", counters.get("cache.disk.sweeps")),
+        ("evictions", counters.get("cache.disk.evictions")),
+        ("evicted bytes", counters.get("cache.disk.evicted_bytes")),
+        ("lock contention", counters.get("cache.disk.lock_contention")),
+    ]
+    return [(k, v) for k, v in named if v is not None]
+
+
 def format_metrics(snapshot: dict) -> str:
     """Render an :func:`repro.obs.metrics_snapshot` as aligned tables.
 
-    Sections: counters, gauges, histograms (count/total/min/max), and cache
-    hit ratios derived from the ``cache.<kind>.*`` counters.
+    Sections: counters, gauges, histograms (count/total/min/max), cache
+    hit ratios derived from the ``cache.<kind>.*`` counters, and the
+    persistent disk tier's occupancy/eviction/contention when the run
+    touched one (``cache.disk.*``).
     """
     counters = snapshot.get("counters", {})
     gauges = snapshot.get("gauges", {})
@@ -203,6 +221,11 @@ def format_metrics(snapshot: dict) -> str:
         lines.append(format_table(
             ["kind", "hits", "misses", "disk hits", "hit ratio"], cache_rows
         ))
+    disk_rows = _disk_tier_rows(counters, gauges)
+    if disk_rows:
+        lines.append("")
+        lines.append("disk tier:")
+        lines.append(format_table(["metric", "value"], disk_rows))
     if len(lines) == 1:
         lines.append("  (no metrics recorded)")
     return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Customization-as-a-service: a long-running job server over the pipeline.
+
+Every per-stage speedup in this repository (bitset/array engines, fast
+Pareto/partitioning paths, the artifact cache) was trapped behind a batch
+CLI: each invocation pays full process startup and can only reuse work
+through the cold disk cache.  This package wraps the pipeline in a
+long-running asyncio **job server** so heavy multi-tenant traffic turns
+into cache hits:
+
+* :mod:`repro.service.jobs` — the request-type registry: one
+  ``identify`` / ``curve`` / ``pareto`` / ``mlgp`` / ``reconfig`` /
+  ``mtreconfig`` job kind per pipeline flow, each with a cheap *resolve*
+  step that derives a **content-addressed dedup key** from the existing
+  cache digests (:func:`repro.cache.program_fingerprint`,
+  :func:`~repro.cache.hot_loops_digest`,
+  :func:`~repro.cache.reconfig_tasks_digest`) and a picklable *compute*
+  step that runs the flow;
+* :mod:`repro.service.server` — :class:`~repro.service.server.JobServer`:
+  a bounded priority queue, a process-backed worker pool with
+  :mod:`repro.parallel`'s degradation semantics, **in-flight coalescing**
+  (concurrent identical requests await one computation) and **at-rest
+  dedup** (completed results are stored behind the same key in the
+  ``service`` kind of :mod:`repro.cache`, so restarts and *other hosts*
+  sharing a cache directory serve them without recomputing), plus a
+  JSON-lines protocol over a unix socket or localhost TCP;
+* :mod:`repro.service.client` — a blocking stdlib client
+  (:class:`~repro.service.client.ServiceClient`) used by ``repro submit``,
+  the tests and the benchmarks.
+
+Run a server with ``repro serve --socket /tmp/repro.sock`` and submit work
+with ``repro submit --socket /tmp/repro.sock curve crc32``.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import (
+    JOB_KINDS,
+    compute_job,
+    register_kind,
+    resolve_job,
+)
+from repro.service.server import JobServer, ServerThread
+
+__all__ = [
+    "JOB_KINDS",
+    "JobServer",
+    "ServerThread",
+    "ServiceClient",
+    "compute_job",
+    "register_kind",
+    "resolve_job",
+]

@@ -1,0 +1,163 @@
+"""Blocking JSON-lines client for the job server.
+
+Used by ``repro submit``, the tests and the benchmarks.  One client is
+one connection; requests are serialized on it (the server multiplexes
+across connections, not within one).  Stdlib only: a :mod:`socket`
+plus newline-delimited JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Callable, Iterator
+
+from repro.errors import ReproError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.server.JobServer` endpoint.
+
+    Address it with either ``socket_path=...`` (unix socket) or
+    ``host=...``/``port=...`` (localhost TCP) — matching
+    :attr:`repro.service.server.ServerThread.address`, so
+    ``ServiceClient(**thread.address)`` always connects.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        timeout: float | None = 300.0,
+    ) -> None:
+        if socket_path is None and port is None:
+            raise ReproError("need socket_path or port to reach the server")
+        try:
+            if socket_path is not None:
+                self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                self._sock.settimeout(timeout)
+                self._sock.connect(socket_path)
+            else:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=timeout
+                )
+        except OSError as exc:
+            where = socket_path or f"{host}:{port}"
+            raise ReproError(f"cannot reach service at {where}: {exc}") from exc
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    # Wire
+    # ------------------------------------------------------------------
+    def _send(self, req: dict[str, Any]) -> None:
+        self._file.write(json.dumps(req).encode() + b"\n")
+        self._file.flush()
+
+    def _recv(self) -> dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ReproError("server closed the connection")
+        return json.loads(line)
+
+    def request(self, req: dict[str, Any]) -> dict[str, Any]:
+        """One request, one response; raises on a server-side error."""
+        self._send(req)
+        resp = self._recv()
+        if not resp.get("ok") and "error" in resp and "job" not in resp:
+            raise ReproError(resp["error"])
+        return resp
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def submit(
+        self,
+        kind: str,
+        params: dict[str, Any] | None = None,
+        priority: int = 0,
+        wait: bool = True,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Submit a job; with ``wait`` (default) returns the finished job.
+
+        The response carries ``disposition`` (``queued`` / ``coalesced``
+        / ``cached``) and ``job`` (including ``result`` when done).  A
+        failed job raises with its error.
+        """
+        req: dict[str, Any] = {
+            "op": "submit",
+            "kind": kind,
+            "params": params or {},
+            "priority": priority,
+            "wait": wait,
+        }
+        if timeout is not None:
+            req["timeout"] = timeout
+        resp = self.request(req)
+        if wait and not resp.get("ok"):
+            raise ReproError(resp.get("error", "job failed"))
+        return resp
+
+    def wait(self, job_id: str, timeout: float | None = None) -> dict[str, Any]:
+        req: dict[str, Any] = {"op": "wait", "job_id": job_id}
+        if timeout is not None:
+            req["timeout"] = timeout
+        resp = self.request(req)
+        if not resp.get("ok"):
+            raise ReproError(resp.get("error", "job failed"))
+        return resp
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self.request({"op": "status", "job_id": job_id})["job"]
+
+    def watch(
+        self,
+        job_id: str,
+        callback: Callable[[dict[str, Any]], None] | None = None,
+    ) -> Iterator[dict[str, Any]]:
+        """Stream a job's lifecycle events until its terminal summary.
+
+        Yields each event dict (``queued`` / ``started`` / ``spans`` /
+        ``done`` / ``failed``) and finally the ``{"done": true, "job":
+        ...}`` summary; *callback*, when given, also receives each one.
+        """
+        self._send({"op": "watch", "job_id": job_id})
+        while True:
+            event = self._recv()
+            if not event.get("ok") and "error" in event:
+                raise ReproError(event["error"])
+            if callback is not None:
+                callback(event)
+            yield event
+            if event.get("done"):
+                return
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self.request({"op": "jobs"})["jobs"]
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"op": "stats"})["stats"]
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

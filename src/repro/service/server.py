@@ -1,0 +1,651 @@
+"""The asyncio job server: bounded priority queue, coalescing, workers.
+
+Request lifecycle
+-----------------
+
+``submit(kind, params, priority)`` resolves the request to its
+content-addressed key (:func:`repro.service.jobs.resolve_job`) and then
+dedupes **twice** before any work is queued:
+
+1. **in-flight coalescing** — an identical request already queued or
+   running returns that job; N concurrent submits await one computation
+   (counter ``service.coalesced``);
+2. **at-rest hit** — a completed result stored behind the same key in the
+   artifact cache's ``service`` kind (in-process LRU + the shared
+   persistent tier, so server restarts and other hosts sharing a cache
+   directory are covered) materializes a done job without touching the
+   queue (counter ``service.result_hits``).
+
+Everything else enters a bounded :class:`asyncio.PriorityQueue` (higher
+``priority`` runs earlier; FIFO within a priority level; a full queue
+rejects the submit — backpressure instead of unbounded memory) and is
+picked up by one of ``workers`` async consumers.
+
+Execution reuses :mod:`repro.parallel`'s degradation semantics: jobs run
+in a :class:`~concurrent.futures.ProcessPoolExecutor` when process pools
+are allowed (:func:`repro.parallel.pool_allowed`), and any
+infrastructure failure (pool creation denied, worker OOM-killed —
+``BrokenProcessPool``) degrades the server to inline thread execution
+with a once-per-epoch warning and a ``service.pool_failures`` counter —
+the job is retried inline, never lost.  ``job_timeout`` is a hard
+per-job deadline: on expiry the job fails with a labelled timeout
+(counter ``service.timeouts``); it is never silently extended.
+
+Pool workers capture their :mod:`repro.obs` spans and metric deltas
+(:func:`repro.service.jobs._pool_entry`); the server merges them on
+completion, so worker cache-hit counters and per-stage spans stay visible
+in the server's ``--trace``/``--metrics`` view and each job's ``spans``
+event streams the per-stage timings to watchers.
+
+Transport: JSON lines over a unix socket (``start_unix``) or localhost
+TCP (``start_tcp``); one request object per line, one response per line
+(``watch`` streams multiple).  :class:`ServerThread` runs the whole
+server on a background thread for tests, benchmarks and embedding.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import logging
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from repro import cache, obs, parallel
+from repro.errors import ReproError
+from repro.service import jobs as jobs_mod
+
+__all__ = ["Job", "JobServer", "ServerThread", "QueueFullError"]
+
+logger = logging.getLogger("repro.service")
+
+#: Terminal job states.
+_DONE_STATES = ("done", "failed")
+
+
+class QueueFullError(ReproError):
+    """The bounded job queue rejected a submit (backpressure)."""
+
+
+class Job:
+    """One deduplicated unit of work and its lifecycle record."""
+
+    __slots__ = (
+        "id", "kind", "key", "params", "priority", "state", "source",
+        "created", "started", "finished", "result", "error", "coalesced",
+        "events", "done_event",
+    )
+
+    def __init__(
+        self, job_id: str, kind: str, key: str, params: dict, priority: int
+    ) -> None:
+        self.id = job_id
+        self.kind = kind
+        self.key = key
+        self.params = params
+        self.priority = priority
+        self.state = "queued"
+        self.source = "computed"
+        self.created = time.time()
+        self.started: float | None = None
+        self.finished: float | None = None
+        self.result: dict | None = None
+        self.error: str | None = None
+        self.coalesced = 0
+        self.events: list[dict] = []
+        self.done_event = asyncio.Event()
+
+    def to_dict(self, include_result: bool = True) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "key": self.key,
+            "params": self.params,
+            "priority": self.priority,
+            "state": self.state,
+            "source": self.source,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "coalesced": self.coalesced,
+        }
+        if self.error is not None:
+            d["error"] = self.error
+        if include_result and self.result is not None:
+            d["result"] = self.result
+        return d
+
+
+class JobServer:
+    """See the module docstring; construct, ``start()``, then serve."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        queue_size: int = 128,
+        use_processes: bool = True,
+        job_timeout: float | None = None,
+        history: int = 1024,
+    ) -> None:
+        if workers < 1:
+            raise ReproError("need at least one worker")
+        if queue_size < 1:
+            raise ReproError("queue_size must be positive")
+        self.workers = workers
+        self.queue_size = queue_size
+        self.use_processes = use_processes and parallel.pool_allowed()
+        self.job_timeout = job_timeout
+        self.history = history
+        self.counters: dict[str, int] = {
+            "submitted": 0,
+            "computed": 0,
+            "coalesced": 0,
+            "result_hits": 0,
+            "failed": 0,
+            "rejected": 0,
+            "timeouts": 0,
+            "pool_failures": 0,
+        }
+        self._queue: asyncio.PriorityQueue | None = None
+        self._inflight: dict[str, Job] = {}
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []  # insertion order, for history trim
+        self._worker_tasks: list[asyncio.Task] = []
+        self._pool: ProcessPoolExecutor | None = None
+        self._endpoints: list[asyncio.AbstractServer] = []
+        self._seq = itertools.count(1)
+        self._stopped: asyncio.Event | None = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Create the queue, the worker tasks and (maybe) the pool."""
+        if self._started:
+            return
+        self._queue = asyncio.PriorityQueue(maxsize=self.queue_size)
+        self._stopped = asyncio.Event()
+        if self.use_processes:
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            except (OSError, PermissionError) as exc:
+                self._degrade_pool(exc)
+        self._worker_tasks = [
+            asyncio.create_task(self._worker(), name=f"repro-svc-worker-{i}")
+            for i in range(self.workers)
+        ]
+        self._started = True
+        obs.inc("service.starts")
+
+    async def start_unix(self, path: str) -> None:
+        """Additionally accept the JSON-lines protocol on a unix socket."""
+        await self.start()
+        srv = await asyncio.start_unix_server(self._handle_conn, path=path)
+        self._endpoints.append(srv)
+
+    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Accept the protocol on localhost TCP; returns the bound port."""
+        await self.start()
+        srv = await asyncio.start_server(self._handle_conn, host=host, port=port)
+        self._endpoints.append(srv)
+        return srv.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` is called (e.g. by a shutdown op)."""
+        assert self._stopped is not None, "start() first"
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel the workers, release the pool."""
+        if not self._started:
+            return
+        self._started = False
+        for srv in self._endpoints:
+            srv.close()
+        for srv in self._endpoints:
+            try:
+                await srv.wait_closed()
+            except Exception:  # pragma: no cover - best-effort close
+                pass
+        self._endpoints.clear()
+        for task in self._worker_tasks:
+            task.cancel()
+        for task in self._worker_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._worker_tasks.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        # Fail whatever is still marked in-flight so waiters wake up.
+        for job in list(self._inflight.values()):
+            if job.state not in _DONE_STATES:
+                self._finish(job, error="server stopped")
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # Submission: dedup, then queue
+    # ------------------------------------------------------------------
+    async def submit(
+        self, kind: str, params: dict | None = None, priority: int = 0
+    ) -> tuple[Job, str]:
+        """Submit a request; returns ``(job, disposition)``.
+
+        Disposition is ``"coalesced"`` (an identical request is already
+        in flight — the caller awaits that job), ``"cached"`` (served
+        from the at-rest result store) or ``"queued"``.  Raises
+        :class:`QueueFullError` when the bounded queue is full and
+        :class:`~repro.errors.ReproError` for malformed requests.
+        """
+        assert self._queue is not None, "start() first"
+        self.counters["submitted"] += 1
+        obs.inc("service.submitted")
+        key, norm = jobs_mod.resolve_job(kind, params)
+
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            inflight.coalesced += 1
+            self.counters["coalesced"] += 1
+            obs.inc("service.coalesced")
+            return inflight, "coalesced"
+
+        stored = cache.fetch_service_result(key)
+        if stored is not None:
+            self.counters["result_hits"] += 1
+            obs.inc("service.result_hits")
+            job = self._new_job(kind, key, norm, priority)
+            job.source = "store"
+            job.result = stored
+            self._finish(job)
+            return job, "cached"
+
+        job = self._new_job(kind, key, norm, priority)
+        try:
+            # Higher priority pops first; FIFO within one level.
+            self._queue.put_nowait((-priority, next(self._seq), job))
+        except asyncio.QueueFull:
+            self.counters["rejected"] += 1
+            obs.inc("service.rejected")
+            self._forget(job)
+            raise QueueFullError(
+                f"job queue is full ({self.queue_size} pending); retry later"
+            ) from None
+        self._inflight[key] = job
+        self._event(job, "queued", depth=self._queue.qsize())
+        return job, "queued"
+
+    def _new_job(self, kind: str, key: str, params: dict, priority: int) -> Job:
+        job = Job(f"job-{next(self._seq)}", kind, key, params, priority)
+        self._jobs[job.id] = job
+        self._order.append(job.id)
+        while len(self._order) > self.history:
+            old = self._order.pop(0)
+            stale = self._jobs.get(old)
+            if stale is not None and stale.state in _DONE_STATES:
+                del self._jobs[old]
+            else:  # still running: keep it and stop trimming
+                self._order.insert(0, old)
+                break
+        return job
+
+    def _forget(self, job: Job) -> None:
+        self._jobs.pop(job.id, None)
+        try:
+            self._order.remove(job.id)
+        except ValueError:
+            pass
+
+    def get_job(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        assert self._queue is not None
+        while True:
+            _, _, job = await self._queue.get()
+            try:
+                await self._run(job)
+            finally:
+                self._queue.task_done()
+
+    def _degrade_pool(self, exc: BaseException) -> None:
+        self.counters["pool_failures"] += 1
+        obs.inc("service.pool_failures")
+        if obs.warn_once("service.pool_degraded"):
+            logger.warning(
+                "process pool unavailable (%s: %s); running jobs inline — "
+                "the requested worker fan-out is degraded",
+                type(exc).__name__,
+                exc,
+            )
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    async def _run(self, job: Job) -> None:
+        from concurrent.futures.process import BrokenProcessPool
+
+        job.state = "running"
+        job.started = time.time()
+        self._event(job, "started")
+        loop = asyncio.get_running_loop()
+        deadline = (
+            loop.time() + self.job_timeout
+            if self.job_timeout is not None
+            else None
+        )
+        try:
+            result: dict | None = None
+            if self._pool is not None:
+                try:
+                    result, payload = await self._await(
+                        loop.run_in_executor(
+                            self._pool,
+                            jobs_mod._pool_entry,
+                            (job.kind, job.params),
+                        ),
+                        deadline,
+                    )
+                    obs.merge_payload(payload)
+                except (BrokenProcessPool, OSError, PermissionError) as exc:
+                    # Infrastructure, not the job: degrade and retry inline
+                    # within the remaining budget (same contract as
+                    # parallel_map's serial retry).
+                    self._degrade_pool(exc)
+                    result = None
+            if result is None:
+                result = await self._await(
+                    loop.run_in_executor(
+                        None, jobs_mod.compute_job, job.kind, job.params
+                    ),
+                    deadline,
+                )
+        except asyncio.TimeoutError:
+            self.counters["timeouts"] += 1
+            obs.inc("service.timeouts")
+            self._finish(
+                job,
+                error=f"job exceeded job_timeout={self.job_timeout}s",
+            )
+        except ReproError as exc:
+            self._finish(job, error=str(exc))
+        except Exception as exc:  # noqa: BLE001 - a job must not kill the server
+            self._finish(job, error=f"{type(exc).__name__}: {exc}")
+        else:
+            job.result = result
+            self.counters["computed"] += 1
+            obs.inc("service.computed")
+            cache.store_service_result(job.key, result)
+            self._finish(job)
+
+    @staticmethod
+    async def _await(fut, deadline: float | None):
+        if deadline is None:
+            return await fut
+        remaining = deadline - asyncio.get_running_loop().time()
+        return await asyncio.wait_for(fut, timeout=max(0.0, remaining))
+
+    def _finish(self, job: Job, error: str | None = None) -> None:
+        self._inflight.pop(job.key, None)
+        job.finished = time.time()
+        if error is None:
+            job.state = "done"
+            self._event(
+                job,
+                "done",
+                source=job.source,
+                elapsed=job.finished - job.created,
+            )
+        else:
+            job.state = "failed"
+            job.error = error
+            self.counters["failed"] += 1
+            obs.inc("service.failed")
+            self._event(job, "failed", error=error)
+        job.done_event.set()
+
+    def _event(self, job: Job, name: str, **fields: Any) -> None:
+        job.events.append({"event": name, "t": time.time(), **fields})
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Queue/dedup/cache counters (the ``stats`` protocol op)."""
+        return {
+            "counters": dict(self.counters),
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "queue_size": self.queue_size,
+            "inflight": len(self._inflight),
+            "workers": self.workers,
+            "pool": self._pool is not None,
+            "cache": cache.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # JSON-lines protocol
+    # ------------------------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        async def send(payload: dict) -> None:
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    req = json.loads(line)
+                    if not isinstance(req, dict):
+                        raise ValueError("request is not an object")
+                except ValueError as exc:
+                    await send({"ok": False, "error": f"bad request: {exc}"})
+                    continue
+                try:
+                    stop_after = await self._handle_op(req, send)
+                except ReproError as exc:
+                    await send({"ok": False, "error": str(exc)})
+                    continue
+                if stop_after:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # pragma: no cover - best-effort close
+                pass
+
+    async def _handle_op(self, req: dict, send) -> bool:
+        op = req.get("op")
+        if op == "ping":
+            await send({"ok": True, "pong": True})
+        elif op == "submit":
+            job, disposition = await self.submit(
+                req.get("kind", ""),
+                req.get("params") or {},
+                priority=int(req.get("priority", 0)),
+            )
+            if req.get("wait", True):
+                await self._wait_done(job, req.get("timeout"))
+                await send({
+                    "ok": job.state == "done",
+                    "disposition": disposition,
+                    "job": job.to_dict(),
+                    **({"error": job.error} if job.error else {}),
+                })
+            else:
+                await send({
+                    "ok": True,
+                    "disposition": disposition,
+                    "job": job.to_dict(include_result=False),
+                })
+        elif op in ("wait", "status"):
+            job = self.get_job(str(req.get("job_id")))
+            if job is None:
+                await send({"ok": False, "error": "unknown job_id"})
+            elif op == "wait":
+                await self._wait_done(job, req.get("timeout"))
+                await send({
+                    "ok": job.state == "done",
+                    "job": job.to_dict(),
+                    **({"error": job.error} if job.error else {}),
+                })
+            else:
+                await send({"ok": True, "job": job.to_dict(include_result=False)})
+        elif op == "watch":
+            job = self.get_job(str(req.get("job_id")))
+            if job is None:
+                await send({"ok": False, "error": "unknown job_id"})
+            else:
+                await self._stream_events(job, send)
+        elif op == "jobs":
+            await send({
+                "ok": True,
+                "jobs": [
+                    self._jobs[jid].to_dict(include_result=False)
+                    for jid in self._order
+                    if jid in self._jobs
+                ],
+            })
+        elif op == "stats":
+            await send({"ok": True, "stats": self.stats()})
+        elif op == "shutdown":
+            await send({"ok": True, "stopping": True})
+            asyncio.get_running_loop().create_task(self.stop())
+            return True
+        else:
+            await send({"ok": False, "error": f"unknown op {op!r}"})
+        return False
+
+    @staticmethod
+    async def _wait_done(job: Job, timeout: float | None) -> None:
+        if job.state in _DONE_STATES:
+            return
+        if timeout is None:
+            await job.done_event.wait()
+        else:
+            try:
+                await asyncio.wait_for(job.done_event.wait(), timeout=timeout)
+            except asyncio.TimeoutError:
+                raise ReproError(
+                    f"timed out after {timeout}s waiting for {job.id} "
+                    f"(state {job.state})"
+                ) from None
+
+    async def _stream_events(self, job: Job, send) -> None:
+        """Stream job events as they happen, then a terminal summary.
+
+        Events include the per-stage span timings merged from the worker
+        (the ``spans`` event appended at completion), so a watcher sees
+        queued → started → per-stage progress → done.
+        """
+        sent = 0
+        while True:
+            while sent < len(job.events):
+                await send({"ok": True, **job.events[sent]})
+                sent += 1
+            if job.state in _DONE_STATES:
+                await send({"ok": True, "done": True, "job": job.to_dict()})
+                return
+            try:
+                await asyncio.wait_for(job.done_event.wait(), timeout=0.2)
+            except asyncio.TimeoutError:
+                pass  # poll for incremental events
+
+
+class ServerThread:
+    """A :class:`JobServer` running its own event loop on a thread.
+
+    For tests, benchmarks and embedding: construct, :meth:`start`, talk
+    to it with a :class:`~repro.service.client.ServiceClient`, then
+    :meth:`stop`.  Exactly one endpoint is opened: a unix socket when
+    *socket_path* is given, else localhost TCP on *port* (0 = ephemeral).
+    """
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **server_kwargs: Any,
+    ) -> None:
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.server = JobServer(**server_kwargs)
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._main, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._ready.is_set():
+            raise ReproError("service thread failed to start in time")
+        return self
+
+    def _main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+
+        async def boot() -> None:
+            try:
+                if self.socket_path is not None:
+                    await self.server.start_unix(self.socket_path)
+                else:
+                    self.port = await self.server.start_tcp(
+                        self.host, self.port
+                    )
+            except BaseException as exc:  # surfaced to start()
+                self._startup_error = exc
+            finally:
+                self._ready.set()
+
+        loop.run_until_complete(boot())
+        if self._startup_error is None:
+            loop.run_until_complete(self.server.serve_forever())
+        # Drain pending callbacks (closed connections etc.), then close.
+        loop.run_until_complete(asyncio.sleep(0))
+        loop.close()
+
+    @property
+    def address(self) -> dict[str, Any]:
+        """Client-ready address of the one open endpoint."""
+        if self.socket_path is not None:
+            return {"socket_path": self.socket_path}
+        return {"host": self.host, "port": self.port}
+
+    def stop(self, timeout: float = 10.0) -> None:
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+        if thread.is_alive():
+            asyncio.run_coroutine_threadsafe(self.server.stop(), loop)
+        thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

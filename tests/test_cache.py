@@ -256,3 +256,141 @@ class TestDiskHardening:
                 f.write_text("{torn write")
             cache.clear()
             assert build_task(program) == task
+
+
+class TestBackendsAndEviction:
+    """The pluggable persistent tier: budgets, LRU eviction, stats."""
+
+    def _fill(self, n: int, prefix: str = "ev") -> list[str]:
+        keys = [f"{prefix}-{i:02d}" for i in range(n)]
+        for i, key in enumerate(keys):
+            cache.store_service_result(key, {"i": i, "pad": "x" * 64})
+        return keys
+
+    def test_memory_backend_roundtrip_and_entry_budget(self):
+        from repro.cache_backends import MemoryBackend
+
+        backend = MemoryBackend(max_entries=3)
+        cache.set_backend(backend)
+        try:
+            keys = self._fill(5)
+            stats = backend.stats()
+            assert stats["entries"] == 3
+            assert stats["evictions"] == 2
+            # Survivors are the most recently stored; clear the LRU so the
+            # fetch has to go through the backend.
+            cache.clear()
+            assert cache.fetch_service_result(keys[0]) is None
+            assert cache.fetch_service_result(keys[4]) == {
+                "i": 4, "pad": "x" * 64,
+            }
+        finally:
+            cache.reset_backend()
+
+    def test_memory_backend_byte_budget(self):
+        from repro.cache_backends import MemoryBackend
+
+        backend = MemoryBackend(max_bytes=600)
+        cache.set_backend(backend)
+        try:
+            self._fill(8)
+            assert backend.stats()["bytes"] <= 600
+            assert backend.stats()["evictions"] >= 1
+        finally:
+            cache.reset_backend()
+
+    def test_local_dir_eviction_is_lru_by_mtime(self, tmp_path):
+        import os
+        import time as time_mod
+
+        from repro.cache_backends import LocalDirBackend
+
+        backend = LocalDirBackend(tmp_path, max_entries=2, sweep_interval=1)
+        cache.set_backend(backend)
+        try:
+            keys = self._fill(2, prefix="lru")
+            # Backdate the first entry, then *hit* it: the validated read
+            # refreshes its mtime, so the un-hit second entry is evicted.
+            (first,) = [
+                p for p in tmp_path.glob("repro-cache-service-*lru-00*")
+            ]
+            old = time_mod.time() - 1000
+            os.utime(first, (old, old))
+            cache.clear()
+            assert cache.fetch_service_result(keys[0]) is not None
+            self._fill(1, prefix="lru-new")
+            backend.sweep()
+            names = sorted(p.name for p in tmp_path.glob("repro-cache-*.json"))
+            assert len(names) == 2
+            assert any("lru-00" in n for n in names)   # refreshed: kept
+            assert any("lru-new" in n for n in names)  # newest: kept
+            assert not any("lru-01" in n for n in names)  # LRU: evicted
+        finally:
+            cache.reset_backend()
+
+    def test_sweep_is_amortized_over_stores(self, tmp_path):
+        from repro.cache_backends import LocalDirBackend
+
+        backend = LocalDirBackend(tmp_path, max_entries=2, sweep_interval=50)
+        cache.set_backend(backend)
+        try:
+            self._fill(6)
+            # Below the sweep interval: budget intentionally not enforced
+            # yet (sweeps cost a directory scan; they are amortized).
+            assert len(list(tmp_path.glob("repro-cache-*.json"))) == 6
+            backend.sweep()
+            assert len(list(tmp_path.glob("repro-cache-*.json"))) == 2
+        finally:
+            cache.reset_backend()
+
+    def test_stats_carries_disk_row_with_backend(self, tmp_path):
+        cache.set_cache_dir(tmp_path)
+        self._fill(3)
+        stats = cache.stats()
+        assert stats["disk"]["backend"] == "local"
+        assert stats["disk"]["entries"] == 3
+        assert stats["disk"]["bytes"] > 0
+        for field in ("evictions", "evicted_bytes", "lock_contention"):
+            assert field in stats["disk"]
+        cache.set_cache_dir(None)
+        assert "disk" not in cache.stats()
+        assert cache.disk_stats() is None
+
+    def test_backend_from_env_selection(self, tmp_path, monkeypatch):
+        from repro import cache_backends
+
+        monkeypatch.setenv(cache_backends.ENV_BACKEND, "shared")
+        assert cache_backends.backend_from_env(tmp_path).name == "shared"
+        monkeypatch.setenv(cache_backends.ENV_BACKEND, "bogus")
+        assert cache_backends.backend_from_env(tmp_path).name == "local"
+        monkeypatch.delenv(cache_backends.ENV_BACKEND)
+        assert cache_backends.backend_from_env(tmp_path).name == "local"
+
+    def test_shared_backend_excl_lock_blocks_second_sweeper(self, tmp_path):
+        from repro.cache_backends import SharedDirBackend, _ExclLock
+
+        backend = SharedDirBackend(tmp_path, max_entries=1)
+        cache.set_backend(backend)
+        try:
+            self._fill(3)
+            token = _ExclLock.acquire(tmp_path)
+            assert token is not None
+            before = backend.lock_contention
+            backend.sweep()  # contended: must skip, not block or corrupt
+            assert backend.lock_contention == before + 1
+            _ExclLock.release(token)
+            backend.sweep()
+            assert len(list(tmp_path.glob("repro-cache-*.json"))) == 1
+        finally:
+            cache.reset_backend()
+
+    def test_env_budget_drives_auto_backend(self, tmp_path, monkeypatch):
+        from repro import cache_backends
+
+        monkeypatch.setenv(cache_backends.ENV_MAX_ENTRIES, "4")
+        cache.set_cache_dir(tmp_path)
+        backend = cache.active_backend()
+        assert backend is not None and backend.max_entries == 4
+        self._fill(9)
+        backend.sweep()
+        assert len(list(tmp_path.glob("repro-cache-*.json"))) == 4

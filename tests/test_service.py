@@ -1,0 +1,328 @@
+"""Tests for the customization job server (:mod:`repro.service`).
+
+Coalescing and at-rest dedup are the core contract — N concurrent
+identical requests must produce exactly one computation — so those tests
+count actual compute invocations, not just server counters.  The server
+runs inline (no process pool) throughout: test-local job kinds are
+registered in this module only, so a pool worker could not resolve them,
+and inline mode keeps the invocation counters observable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import cache
+from repro.cache_backends import MemoryBackend
+from repro.errors import ReproError
+from repro.service import jobs as jobs_mod
+from repro.service.client import ServiceClient
+from repro.service.server import ServerThread
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Service results are cached; isolate every test's store."""
+    cache.set_enabled(True)
+    cache.set_cache_dir(None)
+    cache.reset_backend()
+    cache.clear()
+    yield
+    cache.set_enabled(True)
+    cache.reset_cache_dir()
+    cache.reset_backend()
+    cache.clear()
+
+
+class _Recorder:
+    """A registered job kind that records its compute invocations."""
+
+    def __init__(self, name: str, delay: float = 0.0):
+        self.name = name
+        self.calls: list[dict] = []
+        self.delay = delay
+        self.gate: threading.Event | None = None
+        self._lock = threading.Lock()
+        jobs_mod.register_kind(name, self._resolve, self._compute)
+
+    def _resolve(self, params):
+        x = params.get("x", 0)
+        return f"svc-test-{self.name}-{x}", {"x": x}
+
+    def _compute(self, params):
+        with self._lock:
+            self.calls.append(dict(params))
+        if self.gate is not None:
+            assert self.gate.wait(timeout=30)
+        if self.delay:
+            time.sleep(self.delay)
+        if params["x"] < 0:
+            raise ReproError(f"negative x {params['x']}")
+        return {"x": params["x"], "doubled": params["x"] * 2}
+
+
+@pytest.fixture
+def recorder(request):
+    name = f"rec-{request.node.name}"[:48]
+    rec = _Recorder(name, delay=0.05)
+    yield rec
+    jobs_mod.JOB_KINDS.pop(name, None)
+
+
+def _server(**kwargs) -> ServerThread:
+    kwargs.setdefault("use_processes", False)
+    return ServerThread(**kwargs)
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_compute_once(self, recorder):
+        n_clients = 6
+        with _server(workers=2) as srv:
+            results: list[dict] = []
+
+            def go():
+                with ServiceClient(**srv.address) as c:
+                    results.append(c.submit(recorder.name, {"x": 7}))
+
+            threads = [threading.Thread(target=go) for _ in range(n_clients)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with ServiceClient(**srv.address) as c:
+                stats = c.stats()
+
+        assert len(recorder.calls) == 1  # the exactly-once contract
+        assert len(results) == n_clients
+        assert all(r["job"]["result"]["doubled"] == 14 for r in results)
+        counters = stats["counters"]
+        assert counters["computed"] == 1
+        assert counters["coalesced"] == n_clients - 1
+        assert counters["submitted"] == n_clients
+        dispositions = sorted(r["disposition"] for r in results)
+        assert dispositions.count("coalesced") == n_clients - 1
+        assert dispositions.count("queued") == 1
+
+    def test_distinct_params_do_not_coalesce(self, recorder):
+        with _server(workers=2) as srv:
+            with ServiceClient(**srv.address) as c:
+                r1 = c.submit(recorder.name, {"x": 1})
+                r2 = c.submit(recorder.name, {"x": 2})
+        assert len(recorder.calls) == 2
+        assert r1["job"]["key"] != r2["job"]["key"]
+
+
+class TestAtRestDedup:
+    def test_repeat_request_hits_result_store(self, recorder):
+        with _server() as srv:
+            with ServiceClient(**srv.address) as c:
+                first = c.submit(recorder.name, {"x": 3})
+                second = c.submit(recorder.name, {"x": 3})
+                stats = c.stats()
+        assert first["disposition"] == "queued"
+        assert second["disposition"] == "cached"
+        assert second["job"]["result"] == first["job"]["result"]
+        assert len(recorder.calls) == 1
+        assert stats["counters"]["result_hits"] == 1
+
+    def test_results_survive_server_restart_via_backend(self, recorder):
+        # The at-rest store is the artifact cache's persistent tier: a
+        # fresh server (even a fresh process-level LRU) serves results
+        # computed before it started.
+        cache.set_backend(MemoryBackend())
+        with _server() as srv:
+            with ServiceClient(**srv.address) as c:
+                c.submit(recorder.name, {"x": 11})
+        # Simulate a restart: drop the in-process LRU, keep the backend.
+        cache.clear(disk=False)
+        with _server() as srv:
+            with ServiceClient(**srv.address) as c:
+                resp = c.submit(recorder.name, {"x": 11})
+        assert resp["disposition"] == "cached"
+        assert resp["job"]["result"]["doubled"] == 22
+        assert len(recorder.calls) == 1
+
+
+class TestQueueSemantics:
+    def test_priority_orders_queued_jobs(self, recorder):
+        recorder.gate = threading.Event()
+        with _server(workers=1) as srv:
+            with ServiceClient(**srv.address) as c:
+                # Occupy the single worker, then queue behind it.
+                blocker = c.submit(recorder.name, {"x": 100}, wait=False)
+                deadline = time.time() + 10
+                while not recorder.calls and time.time() < deadline:
+                    time.sleep(0.01)
+                low = c.submit(
+                    recorder.name, {"x": 1}, priority=0, wait=False
+                )
+                high = c.submit(
+                    recorder.name, {"x": 2}, priority=5, wait=False
+                )
+                recorder.gate.set()
+                c.wait(low["job"]["id"], timeout=30)
+                c.wait(high["job"]["id"], timeout=30)
+                c.wait(blocker["job"]["id"], timeout=30)
+        order = [call["x"] for call in recorder.calls]
+        assert order[0] == 100
+        assert order[1:] == [2, 1]  # high priority ran first
+
+    def test_bounded_queue_rejects_when_full(self, recorder):
+        recorder.gate = threading.Event()
+        try:
+            with _server(workers=1, queue_size=1) as srv:
+                with ServiceClient(**srv.address) as c:
+                    c.submit(recorder.name, {"x": 100}, wait=False)
+                    # Wait until the worker picked the blocker up, so the
+                    # next submit occupies the queue's single slot.
+                    deadline = time.time() + 10
+                    while not recorder.calls and time.time() < deadline:
+                        time.sleep(0.01)
+                    c.submit(recorder.name, {"x": 1}, wait=False)
+                    with pytest.raises(ReproError, match="queue is full"):
+                        c.submit(recorder.name, {"x": 2}, wait=False)
+                    stats = c.stats()
+                    recorder.gate.set()
+        finally:
+            recorder.gate.set()
+        assert stats["counters"]["rejected"] == 1
+
+    def test_job_timeout_fails_the_job(self, recorder):
+        recorder.gate = threading.Event()
+        try:
+            with _server(workers=1, job_timeout=0.2) as srv:
+                with ServiceClient(**srv.address) as c:
+                    with pytest.raises(ReproError, match="job_timeout"):
+                        c.submit(recorder.name, {"x": 1})
+                    stats = c.stats()
+        finally:
+            recorder.gate.set()
+        assert stats["counters"]["timeouts"] == 1
+        assert stats["counters"]["failed"] == 1
+
+
+class TestFailuresAndProtocol:
+    def test_job_error_propagates_and_server_survives(self, recorder):
+        with _server() as srv:
+            with ServiceClient(**srv.address) as c:
+                with pytest.raises(ReproError, match="negative x"):
+                    c.submit(recorder.name, {"x": -1})
+                # The server keeps serving after a failed job.
+                ok = c.submit(recorder.name, {"x": 4})
+                stats = c.stats()
+        assert ok["job"]["result"]["doubled"] == 8
+        assert stats["counters"]["failed"] == 1
+
+    def test_failed_jobs_are_not_stored_at_rest(self, recorder):
+        with _server() as srv:
+            with ServiceClient(**srv.address) as c:
+                for _ in range(2):
+                    with pytest.raises(ReproError, match="negative x"):
+                        c.submit(recorder.name, {"x": -2})
+        # Both submits computed: a failure must never be served as a hit.
+        assert len(recorder.calls) == 2
+
+    def test_unknown_kind_is_an_error(self):
+        with _server() as srv:
+            with ServiceClient(**srv.address) as c:
+                with pytest.raises(ReproError, match="unknown job kind"):
+                    c.submit("no-such-kind", {})
+
+    def test_unknown_param_is_an_error(self):
+        with _server() as srv:
+            with ServiceClient(**srv.address) as c:
+                with pytest.raises(ReproError, match="unknown"):
+                    c.submit("curve", {"benchmark": "crc32", "bogus": 1})
+
+    def test_ping_stats_jobs_ops(self, recorder):
+        with _server() as srv:
+            with ServiceClient(**srv.address) as c:
+                assert c.ping()
+                c.submit(recorder.name, {"x": 5})
+                jobs = c.jobs()
+                stats = c.stats()
+        assert len(jobs) == 1
+        assert jobs[0]["state"] == "done"
+        assert "result" not in jobs[0]  # listing omits payloads
+        assert stats["queue_depth"] == 0
+        assert "cache" in stats
+
+    def test_malformed_request_line_is_rejected(self, recorder):
+        with _server() as srv:
+            with ServiceClient(**srv.address) as c:
+                c._file.write(b"this is not json\n")
+                c._file.flush()
+                resp = c._recv()
+                assert resp["ok"] is False
+                assert "bad request" in resp["error"]
+                # The connection stays usable afterwards.
+                assert c.ping()
+
+    def test_watch_streams_lifecycle_events(self, recorder):
+        with _server() as srv:
+            with ServiceClient(**srv.address) as c:
+                sub = c.submit(recorder.name, {"x": 6}, wait=False)
+                events = list(c.watch(sub["job"]["id"]))
+        names = [e.get("event") for e in events if "event" in e]
+        assert names[0] == "queued"
+        assert "started" in names
+        assert names[-1] == "done"
+        summary = events[-1]
+        assert summary["done"] is True
+        assert summary["job"]["result"]["doubled"] == 12
+
+    def test_unix_socket_transport(self, recorder, tmp_path):
+        with _server(socket_path=str(tmp_path / "svc.sock")) as srv:
+            with ServiceClient(**srv.address) as c:
+                assert c.ping()
+                resp = c.submit(recorder.name, {"x": 8})
+        assert resp["job"]["result"]["doubled"] == 16
+
+    def test_shutdown_op_stops_the_server(self, recorder):
+        srv = _server().start()
+        with ServiceClient(**srv.address) as c:
+            c.shutdown()
+        srv._thread.join(timeout=10)
+        assert not srv._thread.is_alive()
+
+
+class TestJobKinds:
+    def test_resolve_is_deterministic_and_param_sensitive(self):
+        k1, p1 = jobs_mod.resolve_job("curve", {"benchmark": "crc32"})
+        k2, _ = jobs_mod.resolve_job("curve", {"benchmark": "crc32"})
+        k3, _ = jobs_mod.resolve_job(
+            "curve", {"benchmark": "crc32", "objective": "wcet"}
+        )
+        k4, _ = jobs_mod.resolve_job("curve", {"benchmark": "sha"})
+        assert k1 == k2
+        assert len({k1, k3, k4}) == 3
+        assert p1["objective"] == "avg"  # defaults are normalized in
+
+    def test_every_builtin_kind_resolves(self):
+        for kind in ("identify", "curve", "pareto", "mlgp", "mtreconfig"):
+            params = (
+                {"benchmark": "crc32"}
+                if kind in ("identify", "curve")
+                else {"benchmarks": ["crc32"]}
+            )
+            if kind == "mtreconfig":
+                params = {"benchmarks": [], "tasks": 4}
+            key, norm = jobs_mod.resolve_job(kind, params)
+            assert key and isinstance(norm, dict)
+        key, norm = jobs_mod.resolve_job("reconfig", {})
+        assert key
+
+    def test_curve_compute_matches_direct_build(self):
+        from repro.core import build_task
+        from repro.workloads import get_program
+
+        _, params = jobs_mod.resolve_job("curve", {"benchmark": "crc32"})
+        out = jobs_mod.compute_job("curve", params)
+        task = build_task(get_program("crc32"))
+        assert out["wcet"] == task.wcet
+        assert out["configurations"] == [
+            [c.area, c.cycles] for c in task.configurations
+        ]
