@@ -70,7 +70,9 @@ ENV_BACKEND = "REPRO_CACHE_BACKEND"
 #: A *.tmp file older than this is an orphan from a crashed writer.
 _STALE_TMP_SECONDS = 300.0
 #: A shared-dir lock file older than this is stale (holder crashed).
-_STALE_LOCK_SECONDS = 60.0
+#: Sweeps refresh the lock's mtime while they run, so a live sweep is
+#: never mistaken for a crashed holder even when it outlasts this.
+_STALE_LOCK_SECONDS = 300.0
 
 
 def _env_int(name: str) -> int | None:
@@ -237,6 +239,12 @@ class _DirBackend(CacheBackend):
     def _release_sweep_lock(self, token) -> None:
         raise NotImplementedError
 
+    def _refresh_sweep_lock(self, token) -> None:
+        """Keep the sweep lock visibly live during a long sweep.
+
+        Only lock-file backends need this (an flock is released by the
+        kernel when the holder dies, so it cannot go stale)."""
+
     def _scan(self) -> list[tuple[float, int, str]]:
         """(mtime, size, name) of every cache-owned file, oldest first.
 
@@ -283,6 +291,10 @@ class _DirBackend(CacheBackend):
             return
         try:
             rows = self._scan()
+            # The scan of a huge (or slow, NFS) directory may itself take
+            # a while: refresh before evicting so the lock never looks
+            # abandoned to contenders.
+            self._refresh_sweep_lock(token)
             total = sum(size for _, size, _ in rows)
             count = len(rows)
             evicted = 0
@@ -304,6 +316,8 @@ class _DirBackend(CacheBackend):
                 count -= 1
                 evicted += 1
                 evicted_bytes += size
+                if evicted % 128 == 0:
+                    self._refresh_sweep_lock(token)
             with self._lock:
                 self.evictions += evicted
                 self.evicted_bytes += evicted_bytes
@@ -370,6 +384,10 @@ class LocalDirBackend(_DirBackend):
         finally:
             os.close(token)
 
+    def _refresh_sweep_lock(self, token) -> None:
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            _ExclLock.refresh(token)
+
 
 class _ExclLock:
     """``O_CREAT|O_EXCL`` lock file with stale-lock breaking.
@@ -386,15 +404,7 @@ class _ExclLock:
         try:
             fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
         except FileExistsError:
-            try:
-                age = time.time() - path.stat().st_mtime
-            except OSError:
-                return None
-            if age > _STALE_LOCK_SECONDS:
-                try:
-                    os.unlink(path)
-                except OSError:
-                    pass
+            _ExclLock._break_if_stale(path)
             return None
         except OSError:
             return None
@@ -403,6 +413,60 @@ class _ExclLock:
         finally:
             os.close(fd)
         return path
+
+    @staticmethod
+    def _break_if_stale(path: Path) -> None:
+        """Remove an abandoned lock without deleting a live one.
+
+        Breaking by plain ``unlink`` races: between the staleness check
+        and the unlink the holder may release and a contender re-create a
+        *fresh* lock, which the unlink would then destroy — admitting two
+        sweepers.  Instead the breaker atomically *renames* the lock to a
+        unique name (only one breaker can win the rename), re-checks
+        staleness on the renamed file — rename preserves mtime, so a
+        freshly created lock grabbed by mistake is detected — and only
+        then unlinks.  A fresh lock grabbed in the window is renamed back
+        (best-effort; losing that race costs one redundant, idempotent
+        sweep).
+        """
+        try:
+            if time.time() - path.stat().st_mtime <= _STALE_LOCK_SECONDS:
+                return
+        except OSError:
+            return
+        doomed = path.with_name(
+            f"{path.name}.stale.{os.getpid()}.{time.monotonic_ns()}"
+        )
+        try:
+            os.rename(path, doomed)
+        except OSError:
+            return  # another breaker won, or the holder released
+        try:
+            fresh = time.time() - doomed.stat().st_mtime <= _STALE_LOCK_SECONDS
+        except OSError:
+            return
+        if fresh:
+            # We stole a just-created lock: give it back unless a newer
+            # lock already took the canonical name (rename would clobber
+            # it — then just drop ours).
+            try:
+                if not path.exists():
+                    os.rename(doomed, path)
+                    return
+            except OSError:
+                pass
+        try:
+            os.unlink(doomed)
+        except OSError:
+            pass
+
+    @staticmethod
+    def refresh(token) -> None:
+        """Refresh the lock's mtime so a long sweep is not broken live."""
+        try:
+            os.utime(token)
+        except OSError:
+            pass
 
     @staticmethod
     def release(token) -> None:
@@ -428,6 +492,9 @@ class SharedDirBackend(_DirBackend):
 
     def _release_sweep_lock(self, token) -> None:
         _ExclLock.release(token)
+
+    def _refresh_sweep_lock(self, token) -> None:
+        _ExclLock.refresh(token)
 
 
 class MemoryBackend(CacheBackend):

@@ -150,9 +150,10 @@ def _resolve_identify(params: dict) -> tuple[str, dict]:
     from repro.workloads import get_program
 
     fp = cache.program_fingerprint(get_program(p["benchmark"]))
-    # Engine is part of the request, not the key: engines are
-    # deterministic but may differ under binding budgets, so the key only
-    # folds in parameters that change the artifact's definition.
+    # Engine IS folded into the key: the engines agree on the search
+    # space but can return different candidate sets under binding
+    # budgets, so results from different engines are distinct artifacts
+    # and must not dedupe against each other.
     key = cache.artifact_key(
         fp,
         svc="identify",

@@ -23,13 +23,17 @@ picked up by one of ``workers`` async consumers.
 
 Execution reuses :mod:`repro.parallel`'s degradation semantics: jobs run
 in a :class:`~concurrent.futures.ProcessPoolExecutor` when process pools
-are allowed (:func:`repro.parallel.pool_allowed`), and any
-infrastructure failure (pool creation denied, worker OOM-killed —
-``BrokenProcessPool``) degrades the server to inline thread execution
-with a once-per-epoch warning and a ``service.pool_failures`` counter —
-the job is retried inline, never lost.  ``job_timeout`` is a hard
-per-job deadline: on expiry the job fails with a labelled timeout
-(counter ``service.timeouts``); it is never silently extended.
+are allowed (:func:`repro.parallel.pool_allowed`).  A broken pool
+(worker OOM-killed — ``BrokenProcessPool``) is *infrastructure*, not the
+job: the failing job retries inline (never lost), the broken executor is
+replaced with a fresh one for subsequent jobs, and only when no pool can
+be created (denied at start, or the replacement fails) does the server
+degrade to inline thread execution — each with a once-per-epoch warning
+and a ``service.pool_failures`` counter.  Exceptions raised *by the job*
+(including OSError subclasses) fail that job only; they never touch the
+pool.  ``job_timeout`` is a hard per-job deadline: on expiry the job
+fails with a labelled timeout (counter ``service.timeouts``); it is
+never silently extended and never mistaken for a pool failure.
 
 Pool workers capture their :mod:`repro.obs` spans and metric deltas
 (:func:`repro.service.jobs._pool_entry`); the server merges them on
@@ -256,28 +260,46 @@ class JobServer:
             obs.inc("service.coalesced")
             return inflight, "coalesced"
 
-        stored = cache.fetch_service_result(key)
+        # Register the job in-flight *before* the at-rest lookup: the
+        # lookup runs in a thread (a large or NFS-backed cache directory
+        # must not stall the event loop), and a concurrent identical
+        # submit arriving during the await coalesces onto this job
+        # instead of racing a second lookup/computation.
+        job = self._new_job(kind, key, norm, priority)
+        self._inflight[key] = job
+        try:
+            stored = await asyncio.get_running_loop().run_in_executor(
+                None, cache.fetch_service_result, key
+            )
+        except Exception:  # noqa: BLE001 - the cache is an accelerator
+            stored = None
         if stored is not None:
             self.counters["result_hits"] += 1
             obs.inc("service.result_hits")
-            job = self._new_job(kind, key, norm, priority)
             job.source = "store"
             job.result = stored
-            self._finish(job)
+            self._finish(job)  # releases the in-flight slot, wakes waiters
             return job, "cached"
 
-        job = self._new_job(kind, key, norm, priority)
         try:
             # Higher priority pops first; FIFO within one level.
             self._queue.put_nowait((-priority, next(self._seq), job))
         except asyncio.QueueFull:
             self.counters["rejected"] += 1
             obs.inc("service.rejected")
-            self._forget(job)
+            if job.coalesced:
+                # Coalesced submitters already hold this job: fail it so
+                # their waits wake instead of hanging on a forgotten job.
+                self._finish(
+                    job,
+                    error=f"job queue is full ({self.queue_size} pending)",
+                )
+            else:
+                self._inflight.pop(key, None)
+                self._forget(job)
             raise QueueFullError(
                 f"job queue is full ({self.queue_size} pending); retry later"
             ) from None
-        self._inflight[key] = job
         self._event(job, "queued", depth=self._queue.qsize())
         return job, "queued"
 
@@ -331,6 +353,42 @@ class JobServer:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
+    def _pool_failure(self, pool: ProcessPoolExecutor, exc: BaseException) -> None:
+        """One job observed a broken pool: replace it, don't degrade.
+
+        The broken executor is discarded and a fresh pool created so one
+        crashed worker never permanently downgrades the server; only when
+        the replacement cannot be created does the server fall back to
+        inline threads.  Concurrent observers of the same broken pool all
+        land here; only the one for which it is still current swaps it.
+        """
+        self.counters["pool_failures"] += 1
+        obs.inc("service.pool_failures")
+        pool.shutdown(wait=False, cancel_futures=True)
+        if self._pool is not pool:
+            return
+        self._pool = None
+        try:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        except (OSError, PermissionError):
+            self._pool = None
+        if self._pool is None:
+            if obs.warn_once("service.pool_degraded"):
+                logger.warning(
+                    "process pool broke (%s: %s) and could not be "
+                    "replaced; running jobs inline — the requested "
+                    "worker fan-out is degraded",
+                    type(exc).__name__,
+                    exc,
+                )
+        elif obs.warn_once("service.pool_replaced"):
+            logger.warning(
+                "process pool broke (%s: %s); replaced it — the failing "
+                "job retries inline",
+                type(exc).__name__,
+                exc,
+            )
+
     async def _run(self, job: Job) -> None:
         from concurrent.futures.process import BrokenProcessPool
 
@@ -345,23 +403,37 @@ class JobServer:
         )
         try:
             result: dict | None = None
-            if self._pool is not None:
+            pool = self._pool
+            if pool is not None:
                 try:
                     result, payload = await self._await(
                         loop.run_in_executor(
-                            self._pool,
+                            pool,
                             jobs_mod._pool_entry,
                             (job.kind, job.params),
                         ),
                         deadline,
                     )
                     obs.merge_payload(payload)
-                except (BrokenProcessPool, OSError, PermissionError) as exc:
-                    # Infrastructure, not the job: degrade and retry inline
-                    # within the remaining budget (same contract as
-                    # parallel_map's serial retry).
-                    self._degrade_pool(exc)
-                    result = None
+                except BrokenProcessPool as exc:
+                    # Infrastructure, not the job: a pool worker died
+                    # (OOM kill, hard crash).  Replace the pool for later
+                    # jobs and retry this one inline within the remaining
+                    # budget (same contract as parallel_map's serial
+                    # retry).  Only BrokenProcessPool is infrastructure
+                    # here: exceptions raised *by the job* — OSError
+                    # subclasses included, and on Python >= 3.11 the
+                    # builtin TimeoutError that asyncio raises on
+                    # job_timeout IS an OSError subclass — must fall
+                    # through to the handlers below, not destroy a
+                    # healthy pool.
+                    self._pool_failure(pool, exc)
+                except asyncio.CancelledError:
+                    # A peer worker replacing the broken pool cancelled
+                    # our pending future: retry inline.  A real task
+                    # cancellation (server stop) keeps propagating.
+                    if not self._started or self._pool is pool:
+                        raise
             if result is None:
                 result = await self._await(
                     loop.run_in_executor(
@@ -384,7 +456,9 @@ class JobServer:
             job.result = result
             self.counters["computed"] += 1
             obs.inc("service.computed")
-            cache.store_service_result(job.key, result)
+            await loop.run_in_executor(
+                None, cache.store_service_result, job.key, result
+            )
             self._finish(job)
 
     @staticmethod
@@ -420,7 +494,12 @@ class JobServer:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, Any]:
-        """Queue/dedup/cache counters (the ``stats`` protocol op)."""
+        """Queue/dedup/cache counters (the ``stats`` protocol op).
+
+        ``cache.stats()`` may scan the cache directory — blocking; the
+        protocol handler runs this in an executor, direct callers
+        (tests, embedding) call it from their own thread.
+        """
         return {
             "counters": dict(self.counters),
             "queue_depth": self._queue.qsize() if self._queue else 0,
@@ -522,7 +601,12 @@ class JobServer:
                 ],
             })
         elif op == "stats":
-            await send({"ok": True, "stats": self.stats()})
+            # cache.stats() scans the cache directory; keep that off the
+            # event loop so a slow (NFS) store never stalls connections.
+            st = await asyncio.get_running_loop().run_in_executor(
+                None, self.stats
+            )
+            await send({"ok": True, "stats": st})
         elif op == "shutdown":
             await send({"ok": True, "stopping": True})
             asyncio.get_running_loop().create_task(self.stop())

@@ -384,6 +384,31 @@ class TestBackendsAndEviction:
         finally:
             cache.reset_backend()
 
+    def test_excl_lock_breaks_stale_but_never_fresh_locks(self, tmp_path):
+        import os
+        import time
+
+        from repro import cache_backends
+        from repro.cache_backends import _ExclLock
+
+        path = tmp_path / "repro-cache.lock.pid"
+        path.write_text("12345")
+        # A fresh lock is honored: the contender backs off without
+        # touching it.
+        assert _ExclLock.acquire(tmp_path) is None
+        assert path.exists()
+        # A stale lock (holder presumed crashed) is broken — via
+        # rename-to-unique + unlink so concurrent breakers cannot
+        # destroy a fresh lock created in the window — and the next
+        # acquire wins.
+        old = time.time() - cache_backends._STALE_LOCK_SECONDS - 5
+        os.utime(path, (old, old))
+        assert _ExclLock.acquire(tmp_path) is None  # breaker retries later
+        assert not path.exists()
+        token = _ExclLock.acquire(tmp_path)
+        assert token is not None
+        _ExclLock.release(token)
+
     def test_env_budget_drives_auto_backend(self, tmp_path, monkeypatch):
         from repro import cache_backends
 

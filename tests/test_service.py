@@ -204,6 +204,87 @@ class TestQueueSemantics:
         assert stats["counters"]["failed"] == 1
 
 
+class TestPoolPathClassification:
+    """Only ``BrokenProcessPool`` is infrastructure on the pool path.
+
+    Regression tests for the bug where the pool path caught OSError
+    broadly: a job timeout (builtin TimeoutError is an OSError subclass
+    on >= 3.11) or a job-raised OSError destroyed the healthy pool and
+    silently re-ran the job inline.  A ``ThreadPoolExecutor`` stands in
+    for the process pool so test-local job kinds resolve inside the
+    "pool" and ``_run``'s exception classification is exercised exactly
+    as with processes.
+    """
+
+    @staticmethod
+    def _install_pool(srv):
+        from concurrent.futures import ThreadPoolExecutor
+
+        pool = ThreadPoolExecutor(max_workers=1)
+        srv.server._pool = pool
+        return pool
+
+    def test_job_oserror_fails_the_job_not_the_pool(self, recorder):
+        calls: list[dict] = []
+
+        def compute(params):
+            calls.append(dict(params))
+            raise FileNotFoundError("/no/such/profile")
+
+        jobs_mod.register_kind(recorder.name, recorder._resolve, compute)
+        with _server(workers=1) as srv:
+            pool = self._install_pool(srv)
+            with ServiceClient(**srv.address) as c:
+                with pytest.raises(ReproError, match="FileNotFoundError"):
+                    c.submit(recorder.name, {"x": 1})
+                stats = c.stats()
+            pool_after = srv.server._pool  # before stop() releases it
+        assert len(calls) == 1  # pool attempt only: no inline re-run
+        assert stats["counters"]["pool_failures"] == 0
+        assert pool_after is pool  # the healthy pool survived
+
+    def test_job_timeout_is_not_a_pool_failure(self, recorder):
+        def compute(params):
+            time.sleep(5.0)
+            return {}
+
+        jobs_mod.register_kind(recorder.name, recorder._resolve, compute)
+        with _server(workers=1, job_timeout=0.2) as srv:
+            pool = self._install_pool(srv)
+            with ServiceClient(**srv.address) as c:
+                with pytest.raises(ReproError, match="job_timeout"):
+                    c.submit(recorder.name, {"x": 1})
+                stats = c.stats()
+            pool_after = srv.server._pool
+        assert stats["counters"]["timeouts"] == 1
+        assert stats["counters"]["pool_failures"] == 0
+        assert pool_after is pool
+
+    def test_broken_pool_is_replaced_and_job_retries_inline(self, recorder):
+        from concurrent.futures.process import BrokenProcessPool
+
+        calls: list[dict] = []
+
+        def compute(params):
+            calls.append(dict(params))
+            if len(calls) == 1:
+                raise BrokenProcessPool("a worker died")
+            return {"x": params["x"], "doubled": params["x"] * 2}
+
+        jobs_mod.register_kind(recorder.name, recorder._resolve, compute)
+        with _server(workers=1) as srv:
+            pool = self._install_pool(srv)
+            with ServiceClient(**srv.address) as c:
+                resp = c.submit(recorder.name, {"x": 9})
+                stats = c.stats()
+            pool_after = srv.server._pool
+        assert resp["job"]["result"]["doubled"] == 18
+        assert len(calls) == 2  # pool attempt + inline retry
+        assert stats["counters"]["pool_failures"] == 1
+        assert pool_after is not None
+        assert pool_after is not pool  # replaced, not degraded
+
+
 class TestFailuresAndProtocol:
     def test_job_error_propagates_and_server_survives(self, recorder):
         with _server() as srv:
