@@ -12,6 +12,9 @@ repeated mixed chapter-3-to-7 workload (identify / curve / pareto / mlgp
   cold caches: the one-time cost of filling the result store;
 * ``warm_sweep_s``   — the sweep repeated through the server: every
   submit is an at-rest result hit;
+* ``warm_sweep_journal_s`` — the warm sweep against a server with the
+  write-ahead job journal enabled: the durability tax, asserted to stay
+  under 10% of warm throughput;
 * the coalescing phase — N concurrent identical requests against a cold
   key must collapse to exactly one computation (the counter is asserted
   here and recorded in the payload).
@@ -23,6 +26,8 @@ under the chaos job's ``REPRO_NO_PROCESS_POOL=1``.
 
 from __future__ import annotations
 
+import os
+import tempfile
 import threading
 import time
 
@@ -119,10 +124,36 @@ def test_service_perf(benchmark):
                         sweep_s, rows = _sweep_via(client)
                         warm_rows.extend(rows)
                     warm_total = time.perf_counter() - warm_t0
+                    # The durability tax: the same warm sweep against a
+                    # second server journaling every lifecycle record.
+                    # The at-rest store is still warm (the coalesce
+                    # phase below clears it), so the delta is pure
+                    # journal overhead.
+                    with tempfile.TemporaryDirectory(
+                        prefix="repro-bench-"
+                    ) as tmp:
+                        journal = os.path.join(tmp, "journal.jsonl")
+                        with ServerThread(
+                            use_processes=False, workers=2, journal=journal
+                        ) as jsrv:
+                            with ServiceClient(**jsrv.address) as jclient:
+                                jwarm_t0 = time.perf_counter()
+                                jwarm_rows: list[dict] = []
+                                for _ in range(WARM_SWEEPS):
+                                    _, rows = _sweep_via(jclient)
+                                    jwarm_rows.extend(rows)
+                                jwarm_total = (
+                                    time.perf_counter() - jwarm_t0
+                                )
+                                journal_stats = jclient.health().get(
+                                    "journal", {}
+                                )
+
                     coalesce = _coalesce_phase(srv.address)
                     counters = client.stats()["counters"]
 
             warm_sweep_s = warm_total / WARM_SWEEPS
+            warm_sweep_journal_s = jwarm_total / WARM_SWEEPS
             n_jobs = len(MIX)
             payload = {
                 "bench": "service",
@@ -133,6 +164,14 @@ def test_service_perf(benchmark):
                 "serial_sweep_s": serial_s,
                 "cold_sweep_s": cold_s,
                 "warm_sweep_s": warm_sweep_s,
+                "warm_sweep_journal_s": warm_sweep_journal_s,
+                "journal_overhead_frac": (
+                    warm_sweep_journal_s / max(warm_sweep_s, 1e-9) - 1.0
+                ),
+                "warm_hit_rate_journal": sum(
+                    r["disposition"] == "cached" for r in jwarm_rows
+                ) / len(jwarm_rows),
+                "journal": journal_stats,
                 "speedup_warm_vs_serial": serial_s / max(warm_sweep_s, 1e-9),
                 "jobs_per_sec_warm": n_jobs * WARM_SWEEPS / max(
                     warm_total, 1e-9
@@ -162,8 +201,16 @@ def test_service_perf(benchmark):
         payload["coalescing"]["coalesced"] + payload["coalescing"]["cached"]
         == COALESCE_CLIENTS - 1
     )
-    # Every warm submit was an at-rest hit.
+    # Every warm submit was an at-rest hit — journaled or not (cached
+    # submits never queue, so they are never journaled either).
     assert payload["warm_hit_rate"] == 1.0
+    assert payload["warm_hit_rate_journal"] == 1.0
+    # The durability tax on warm throughput stays under 10% (with a
+    # small absolute floor: warm sweeps are single-digit milliseconds,
+    # where scheduler noise would dominate a pure ratio).
+    assert payload["warm_sweep_journal_s"] <= max(
+        1.10 * payload["warm_sweep_s"], payload["warm_sweep_s"] + 0.05
+    ), payload
     # Acceptance bar: a warm sweep through the service beats the serial
     # cold CLI loop by >= 5x (in practice it is orders of magnitude).
     assert payload["speedup_warm_vs_serial"] >= 5.0, payload

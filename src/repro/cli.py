@@ -40,6 +40,7 @@ from repro.errors import ReproError
 from repro.report import (
     format_curve,
     format_fault_report,
+    format_health,
     format_metrics,
     format_table,
     format_trace_summary,
@@ -247,6 +248,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="hard per-job deadline in seconds")
     p_srv.add_argument("--inline", action="store_true",
                        help="run jobs inline instead of in a process pool")
+    p_srv.add_argument("--journal", default=None, metavar="PATH",
+                       help="write-ahead job journal (JSONL); replayed on "
+                            "start so a crash or drain loses no jobs")
+    p_srv.add_argument("--retries", type=int, default=2,
+                       help="per-job retry budget for pool-worker deaths "
+                            "(default 2)")
+    p_srv.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds a SIGTERM/SIGINT drain waits for "
+                            "running jobs (default 30)")
     _add_obs_flags(p_srv)
 
     p_sbm = sub.add_parser(
@@ -274,8 +284,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enqueue and print the job id without waiting")
     p_sbm.add_argument("--stats", action="store_true",
                        help="print server queue/dedup/cache stats and exit")
+    p_sbm.add_argument("--health", action="store_true",
+                       help="print the server's readiness snapshot and exit "
+                            "(exit 0 only when it is accepting submits)")
     p_sbm.add_argument("--shutdown", action="store_true",
                        help="ask the server to stop and exit")
+    p_sbm.add_argument("--retries", type=int, default=0,
+                       help="retry lost connections / retryable rejections "
+                            "N times with backoff (survives restarts)")
+    p_sbm.add_argument("--backoff", type=float, default=0.25,
+                       help="base backoff seconds between retries "
+                            "(jittered exponential; default 0.25)")
 
     p_tr = sub.add_parser("trace", help="inspect a recorded span trace")
     p_tr.add_argument("action", choices=("summarize",),
@@ -612,6 +631,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from repro.service.server import JobServer
 
@@ -620,6 +640,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_size=args.queue_size,
         use_processes=not args.inline,
         job_timeout=args.job_timeout,
+        journal=args.journal,
+        retries=args.retries,
+        drain_timeout=args.drain_timeout,
     )
 
     async def run() -> None:
@@ -629,6 +652,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else:
             port = await server.start_tcp(args.host, args.port)
             print(f"serving on {args.host}:{port}", file=sys.stderr)
+        if args.journal:
+            print(f"journaling jobs to {args.journal}", file=sys.stderr)
+
+        # Graceful drain on SIGTERM/SIGINT: stop accepting, let running
+        # jobs finish within --drain-timeout, journal the rest.  A
+        # second signal during the drain hard-stops.
+        loop = asyncio.get_running_loop()
+        draining = False
+
+        def _on_signal(signame: str) -> None:
+            nonlocal draining
+            if draining:
+                print(f"{signame} again; stopping now", file=sys.stderr)
+                loop.create_task(server.stop())
+                return
+            draining = True
+            print(
+                f"{signame}: draining (up to {args.drain_timeout:.0f}s)",
+                file=sys.stderr,
+            )
+            loop.create_task(server.drain())
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig, _on_signal, signal.Signals(sig).name
+                )
+            except (NotImplementedError, RuntimeError):
+                pass  # non-unix event loop: fall back to KeyboardInterrupt
         await server.serve_forever()
 
     try:
@@ -660,7 +712,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         if args.socket
         else {"host": args.host, "port": args.port}
     )
-    with ServiceClient(**address) as client:
+    with ServiceClient(
+        **address, retries=args.retries, backoff=args.backoff
+    ) as client:
+        if args.health:
+            health = client.health()
+            print(format_health(health))
+            return 0 if health.get("accepting") else 1
         if args.stats:
             stats = client.stats()
             print(format_table(

@@ -13,6 +13,7 @@ __all__ = [
     "sparkline",
     "format_curve",
     "format_fault_report",
+    "format_health",
     "format_metrics",
     "format_trace_summary",
 ]
@@ -184,6 +185,37 @@ def _disk_tier_rows(
         ("lock contention", counters.get("cache.disk.lock_contention")),
     ]
     return [(k, v) for k, v in named if v is not None]
+
+
+def format_health(health: dict) -> str:
+    """Render the service ``health`` op snapshot (``repro submit --health``)."""
+    state = (
+        "draining" if health.get("draining")
+        else "accepting" if health.get("accepting")
+        else "stopped"
+    )
+    lines = [
+        f"state: {state}  uptime: {health.get('uptime_s', 0.0):.1f}s",
+        f"queue: {health.get('queue_depth', 0)}/{health.get('queue_size', 0)}"
+        f"  inflight: {health.get('inflight', 0)}"
+        f"  running: {health.get('running', 0)}"
+        f"  workers: {health.get('workers', 0)}"
+        f"  pool: {health.get('pool', False)}",
+    ]
+    journal = health.get("journal")
+    if journal:
+        lines.append(
+            f"journal: {journal.get('path', '?')}  "
+            f"lag: {journal.get('lag', 0)}  live: {journal.get('live', 0)}  "
+            f"appends: {journal.get('appends', 0)}  "
+            f"compactions: {journal.get('compactions', 0)}"
+        )
+    counters = health.get("counters")
+    if counters:
+        lines.append(format_table(
+            ["counter", "value"], sorted(counters.items())
+        ))
+    return "\n".join(lines)
 
 
 def format_metrics(snapshot: dict) -> str:

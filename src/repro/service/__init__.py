@@ -23,29 +23,55 @@ into cache hits:
   ``service`` kind of :mod:`repro.cache`, so restarts and *other hosts*
   sharing a cache directory serve them without recomputing), plus a
   JSON-lines protocol over a unix socket or localhost TCP;
+* :mod:`repro.service.journal` — the write-ahead job journal
+  (:class:`~repro.service.journal.JobJournal`): an append-only JSONL log
+  of job lifecycle records with fsync batching, compaction on checkpoint
+  and corruption-tolerant replay, so a crashed or drained server replays
+  its non-terminal jobs on the next start (exactly-once, because jobs
+  are content-keyed);
 * :mod:`repro.service.client` — a blocking stdlib client
   (:class:`~repro.service.client.ServiceClient`) used by ``repro submit``,
-  the tests and the benchmarks.
+  the tests and the benchmarks, with optional retry/backoff reconnect
+  (``retries=``/``backoff=``) that survives server restarts.
 
-Run a server with ``repro serve --socket /tmp/repro.sock`` and submit work
-with ``repro submit --socket /tmp/repro.sock curve crc32``.
+Run a server with ``repro serve --socket /tmp/repro.sock --journal
+/var/lib/repro/journal.jsonl`` and submit work with ``repro submit
+--socket /tmp/repro.sock curve crc32``.
 """
 
-from repro.service.client import ServiceClient
+from repro.service.client import (
+    ConnectionLostError,
+    ServiceBusyError,
+    ServiceClient,
+)
 from repro.service.jobs import (
     JOB_KINDS,
     compute_job,
+    journal_safe_params,
     register_kind,
     resolve_job,
 )
-from repro.service.server import JobServer, ServerThread
+from repro.service.journal import JobJournal, replay_journal
+from repro.service.server import (
+    DrainingError,
+    JobServer,
+    QueueFullError,
+    ServerThread,
+)
 
 __all__ = [
     "JOB_KINDS",
+    "ConnectionLostError",
+    "DrainingError",
+    "JobJournal",
     "JobServer",
+    "QueueFullError",
     "ServerThread",
+    "ServiceBusyError",
     "ServiceClient",
     "compute_job",
+    "journal_safe_params",
     "register_kind",
+    "replay_journal",
     "resolve_job",
 ]

@@ -28,6 +28,7 @@ custom kinds on inline (``use_processes=False``) servers.
 
 from __future__ import annotations
 
+import json
 from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Any
@@ -39,6 +40,7 @@ __all__ = [
     "JOB_KINDS",
     "JobKind",
     "compute_job",
+    "journal_safe_params",
     "register_kind",
     "resolve_job",
 ]
@@ -81,6 +83,26 @@ def compute_job(kind: str, params: dict) -> dict:
     if jk is None:
         raise ReproError(f"unknown job kind {kind!r}")
     return jk.compute(params)
+
+
+def journal_safe_params(params: dict) -> dict:
+    """Canonicalize *params* through a JSON round-trip for the journal.
+
+    The write-ahead journal (:mod:`repro.service.journal`) replays
+    ``(kind, params)`` pairs across a server restart, so journaled
+    params must survive JSON serialization *and* resolve to the same
+    content key when loaded back (tuples come back as lists — the
+    builtin kinds' resolve steps already normalize to JSON types).
+    Raises :class:`~repro.errors.ReproError` for params a journal could
+    not faithfully replay (sets, objects, NaN...), so the caller can
+    degrade to a non-durable job instead of corrupting the journal.
+    """
+    try:
+        return json.loads(json.dumps(params, sort_keys=True, allow_nan=False))
+    except (TypeError, ValueError) as exc:
+        raise ReproError(
+            f"job params are not JSON-serializable for the journal: {exc}"
+        ) from exc
 
 
 def _pool_entry(spec: tuple[str, dict]) -> tuple[dict, dict]:

@@ -41,6 +41,33 @@ completion, so worker cache-hit counters and per-stage spans stay visible
 in the server's ``--trace``/``--metrics`` view and each job's ``spans``
 event streams the per-stage timings to watchers.
 
+Durability and self-healing
+---------------------------
+
+With ``journal=`` the server keeps a **write-ahead job journal**
+(:class:`repro.service.journal.JobJournal`): queued jobs are journaled as
+``submitted``, workers append ``started``, and :meth:`JobServer._finish`
+appends the terminal record.  On startup the journal is replayed and
+every non-terminal job resubmitted (counter ``service.recovered``) —
+exactly-once because jobs are content-keyed, so a job that completed
+before the crash replays as an at-rest cache hit.  In-memory failures
+that only mean "this server is going away" (stop, drain) are *not*
+journaled, so those jobs stay replayable.
+
+Per-job transient failures get a **retry budget**: a job whose pool
+worker dies (``BrokenProcessPool``) is retried on the replaced pool up
+to ``retries`` times (counter ``service.retried``) before being failed —
+a job that *keeps* killing its worker (OOM) must not retry forever, and
+must never retry inline where it would take the server down with it.
+
+:meth:`JobServer.drain` is the graceful path (``repro serve`` wires it
+to SIGTERM/SIGINT): new submits are rejected with a retryable
+``draining`` error, running jobs get ``drain_timeout`` seconds to
+finish, and whatever remains is left non-terminal in the journal for the
+next start, with watchers/waiters woken by a non-durable ``draining:``
+failure.  The ``health`` op reports queue depth, pool state, journal lag
+and uptime — the readiness probe for orchestration and CI.
+
 Transport: JSON lines over a unix socket (``start_unix``) or localhost
 TCP (``start_tcp``); one request object per line, one response per line
 (``watch`` streams multiple).  :class:`ServerThread` runs the whole
@@ -61,17 +88,32 @@ from typing import Any
 from repro import cache, obs, parallel
 from repro.errors import ReproError
 from repro.service import jobs as jobs_mod
+from repro.service.journal import JobJournal
 
-__all__ = ["Job", "JobServer", "ServerThread", "QueueFullError"]
+__all__ = [
+    "DrainingError",
+    "Job",
+    "JobServer",
+    "QueueFullError",
+    "ServerThread",
+]
 
 logger = logging.getLogger("repro.service")
 
 #: Terminal job states.
 _DONE_STATES = ("done", "failed")
 
+#: Error prefix for jobs failed in-memory by a drain; replies carrying it
+#: are marked retryable so clients resubmit after the restart.
+_DRAIN_ERROR = "draining:"
+
 
 class QueueFullError(ReproError):
     """The bounded job queue rejected a submit (backpressure)."""
+
+
+class DrainingError(ReproError):
+    """The server is draining and no longer accepts submits."""
 
 
 class Job:
@@ -80,7 +122,7 @@ class Job:
     __slots__ = (
         "id", "kind", "key", "params", "priority", "state", "source",
         "created", "started", "finished", "result", "error", "coalesced",
-        "events", "done_event",
+        "events", "done_event", "journaled", "retries",
     )
 
     def __init__(
@@ -101,6 +143,8 @@ class Job:
         self.coalesced = 0
         self.events: list[dict] = []
         self.done_event = asyncio.Event()
+        self.journaled = False  # has a live `submitted` journal record
+        self.retries = 0  # pool-worker deaths charged to this job
 
     def to_dict(self, include_result: bool = True) -> dict[str, Any]:
         d: dict[str, Any] = {
@@ -133,16 +177,24 @@ class JobServer:
         use_processes: bool = True,
         job_timeout: float | None = None,
         history: int = 1024,
+        journal: str | JobJournal | None = None,
+        retries: int = 2,
+        drain_timeout: float = 30.0,
     ) -> None:
         if workers < 1:
             raise ReproError("need at least one worker")
         if queue_size < 1:
             raise ReproError("queue_size must be positive")
+        if retries < 0:
+            raise ReproError("retries must be >= 0")
         self.workers = workers
         self.queue_size = queue_size
         self.use_processes = use_processes and parallel.pool_allowed()
         self.job_timeout = job_timeout
         self.history = history
+        self.retries = retries
+        self.drain_timeout = drain_timeout
+        self.started_at: float | None = None
         self.counters: dict[str, int] = {
             "submitted": 0,
             "computed": 0,
@@ -152,7 +204,12 @@ class JobServer:
             "rejected": 0,
             "timeouts": 0,
             "pool_failures": 0,
+            "retried": 0,
+            "recovered": 0,
+            "drained": 0,
         }
+        self._journal_spec = journal
+        self._journal: JobJournal | None = None
         self._queue: asyncio.PriorityQueue | None = None
         self._inflight: dict[str, Job] = {}
         self._jobs: dict[str, Job] = {}
@@ -160,22 +217,24 @@ class JobServer:
         self._worker_tasks: list[asyncio.Task] = []
         self._pool: ProcessPoolExecutor | None = None
         self._endpoints: list[asyncio.AbstractServer] = []
+        self._conns: set[asyncio.StreamWriter] = set()
         self._seq = itertools.count(1)
         self._stopped: asyncio.Event | None = None
         self._started = False
+        self._draining = False
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Create the queue, the worker tasks and (maybe) the pool."""
+        """Create the queue and workers, replay the journal, maybe pool."""
         if self._started:
             return
         self._queue = asyncio.PriorityQueue(maxsize=self.queue_size)
         self._stopped = asyncio.Event()
         if self.use_processes:
             try:
-                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                self._pool = self._new_pool()
             except (OSError, PermissionError) as exc:
                 self._degrade_pool(exc)
         self._worker_tasks = [
@@ -183,7 +242,59 @@ class JobServer:
             for i in range(self.workers)
         ]
         self._started = True
+        self._draining = False
+        self.started_at = time.time()
         obs.inc("service.starts")
+        if self._journal_spec is not None:
+            await self._open_and_replay_journal()
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        """Pool factory; tests substitute thread pools here."""
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    async def _open_and_replay_journal(self) -> None:
+        """Open the journal and resubmit every non-terminal job.
+
+        Replay is crash-safe and exactly-once: the journal's open()
+        truncates corruption and compacts to the live set, and replayed
+        jobs are content-keyed — whatever already completed (even with
+        its terminal record lost) comes back as an at-rest cache hit.
+        """
+        spec = self._journal_spec
+        journal = spec if isinstance(spec, JobJournal) else JobJournal(str(spec))
+        loop = asyncio.get_running_loop()
+        replayed = await loop.run_in_executor(None, journal.open)
+        self._journal = journal
+        for rec in replayed:
+            try:
+                await self.submit(
+                    rec["kind"],
+                    rec["params"],
+                    priority=int(rec.get("priority", 0)),
+                    _replayed=True,
+                )
+            except QueueFullError:
+                # Still live in the journal: deferred to the next start.
+                obs.inc("service.journal.replay_deferred")
+            except ReproError as exc:
+                # Unknown kind / params no longer resolvable: make the
+                # record terminal so it stops replaying every start.
+                obs.inc("service.journal.replay_failed")
+                logger.warning(
+                    "journal replay: dropping job %s (%s)",
+                    rec.get("key"),
+                    exc,
+                )
+                journal.record_failed(rec["key"], f"replay failed: {exc}")
+            else:
+                self.counters["recovered"] += 1
+                obs.inc("service.recovered")
+        if replayed:
+            logger.info(
+                "journal %s: resubmitted %d non-terminal job(s)",
+                journal.path,
+                self.counters["recovered"],
+            )
 
     async def start_unix(self, path: str) -> None:
         """Additionally accept the JSON-lines protocol on a unix socket."""
@@ -204,7 +315,12 @@ class JobServer:
         await self._stopped.wait()
 
     async def stop(self) -> None:
-        """Stop accepting, cancel the workers, release the pool."""
+        """Stop accepting, cancel the workers, release the pool.
+
+        A hard stop: in-flight jobs fail in memory with "server
+        stopped", but *non-durably* — their journal records stay live,
+        so a journaled server replays them on the next start.
+        """
         if not self._started:
             return
         self._started = False
@@ -230,25 +346,95 @@ class JobServer:
         # Fail whatever is still marked in-flight so waiters wake up.
         for job in list(self._inflight.values()):
             if job.state not in _DONE_STATES:
-                self._finish(job, error="server stopped")
+                self._finish(job, error="server stopped", durable=False)
+        if self._journal is not None:
+            self._journal.close()
+        # Give woken waiters/streams a few cycles to flush their final
+        # messages, then close every remaining connection: a client must
+        # see EOF (so its retry layer reconnects to the replacement
+        # server), never a half-open socket abandoned with the loop.
+        for _ in range(3):
+            await asyncio.sleep(0)
+        for writer in list(self._conns):
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - best-effort close
+                pass
         if self._stopped is not None:
             self._stopped.set()
+
+    async def drain(self, timeout: float | None = None) -> None:
+        """Graceful shutdown: reject new submits, let running jobs
+        finish within *timeout* (default ``drain_timeout``) seconds,
+        journal the rest, then :meth:`stop`.
+
+        Jobs that do not finish in time fail in memory with a retryable
+        ``draining:`` error (watchers and waiters wake up and can
+        resubmit after the restart) but stay live in the journal, so the
+        next start replays them.
+        """
+        if self._draining or not self._started:
+            return
+        self._draining = True
+        obs.inc("service.drains")
+        budget = self.drain_timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        logger.info(
+            "draining: %d in-flight job(s), budget %.1fs",
+            len(self._inflight),
+            budget,
+        )
+        while time.monotonic() < deadline:
+            if not any(
+                j.state == "running" for j in self._inflight.values()
+            ):
+                break
+            await asyncio.sleep(0.05)
+        # Whatever is left — still queued, or running past the budget —
+        # is failed in memory only; its journal record stays live.
+        for job in list(self._inflight.values()):
+            if job.state in _DONE_STATES:
+                continue
+            self.counters["drained"] += 1
+            obs.inc("service.drained")
+            self._event(job, "drained")
+            self._finish(
+                job,
+                error=f"{_DRAIN_ERROR} job journaled for the next start",
+                durable=False,
+            )
+        await self.stop()
 
     # ------------------------------------------------------------------
     # Submission: dedup, then queue
     # ------------------------------------------------------------------
     async def submit(
-        self, kind: str, params: dict | None = None, priority: int = 0
+        self,
+        kind: str,
+        params: dict | None = None,
+        priority: int = 0,
+        _replayed: bool = False,
     ) -> tuple[Job, str]:
         """Submit a request; returns ``(job, disposition)``.
 
         Disposition is ``"coalesced"`` (an identical request is already
         in flight — the caller awaits that job), ``"cached"`` (served
         from the at-rest result store) or ``"queued"``.  Raises
-        :class:`QueueFullError` when the bounded queue is full and
+        :class:`QueueFullError` when the bounded queue is full,
+        :class:`DrainingError` while the server is draining and
         :class:`~repro.errors.ReproError` for malformed requests.
+
+        ``_replayed`` marks journal-replay resubmits: they are already
+        in the compacted journal, so they must not be journaled again.
         """
         assert self._queue is not None, "start() first"
+        if self._draining and not _replayed:
+            self.counters["rejected"] += 1
+            obs.inc("service.rejected")
+            raise DrainingError(
+                "server is draining and accepts no new submits; "
+                "retry after the restart"
+            )
         self.counters["submitted"] += 1
         obs.inc("service.submitted")
         key, norm = jobs_mod.resolve_job(kind, params)
@@ -278,6 +464,10 @@ class JobServer:
             obs.inc("service.result_hits")
             job.source = "store"
             job.result = stored
+            # A replayed job resolving to a cache hit must still write
+            # its terminal journal record, or it would replay (harmless
+            # but noisy) on every future start.
+            job.journaled = _replayed
             self._finish(job)  # releases the in-flight slot, wakes waiters
             return job, "cached"
 
@@ -300,6 +490,11 @@ class JobServer:
             raise QueueFullError(
                 f"job queue is full ({self.queue_size} pending); retry later"
             ) from None
+        if self._journal is not None:
+            # Replayed jobs already sit in the compacted journal file.
+            job.journaled = _replayed or self._journal.record_submitted(
+                key, kind, norm, priority
+            )
         self._event(job, "queued", depth=self._queue.qsize())
         return job, "queued"
 
@@ -335,6 +530,11 @@ class JobServer:
         while True:
             _, _, job = await self._queue.get()
             try:
+                if self._draining:
+                    # Don't start new work during a drain; the job stays
+                    # in-flight and the drain sweep journals it for the
+                    # next start.
+                    continue
                 await self._run(job)
             finally:
                 self._queue.task_done()
@@ -369,7 +569,7 @@ class JobServer:
             return
         self._pool = None
         try:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool = self._new_pool()
         except (OSError, PermissionError):
             self._pool = None
         if self._pool is None:
@@ -384,9 +584,10 @@ class JobServer:
         elif obs.warn_once("service.pool_replaced"):
             logger.warning(
                 "process pool broke (%s: %s); replaced it — the failing "
-                "job retries inline",
+                "job retries on the fresh pool (budget %d)",
                 type(exc).__name__,
                 exc,
+                self.retries,
             )
 
     async def _run(self, job: Job) -> None:
@@ -395,6 +596,8 @@ class JobServer:
         job.state = "running"
         job.started = time.time()
         self._event(job, "started")
+        if job.journaled and self._journal is not None:
+            self._journal.record_started(job.key)
         loop = asyncio.get_running_loop()
         deadline = (
             loop.time() + self.job_timeout
@@ -402,45 +605,67 @@ class JobServer:
             else None
         )
         try:
-            result: dict | None = None
-            pool = self._pool
-            if pool is not None:
-                try:
-                    result, payload = await self._await(
+            while True:
+                result: dict | None = None
+                pool = self._pool
+                if pool is not None:
+                    try:
+                        result, payload = await self._await(
+                            loop.run_in_executor(
+                                pool,
+                                jobs_mod._pool_entry,
+                                (job.kind, job.params),
+                            ),
+                            deadline,
+                        )
+                        obs.merge_payload(payload)
+                    except BrokenProcessPool as exc:
+                        # Infrastructure, not the job: a pool worker died
+                        # (OOM kill, hard crash).  Replace the pool and
+                        # retry this job on it — but within a budget: a
+                        # job that *keeps* killing its worker must not
+                        # retry forever, and must never fall back inline
+                        # where it would take the server down with it.
+                        # Only BrokenProcessPool is infrastructure here:
+                        # exceptions raised *by the job* — OSError
+                        # subclasses included, and on Python >= 3.11 the
+                        # builtin TimeoutError that asyncio raises on
+                        # job_timeout IS an OSError subclass — must fall
+                        # through to the handlers below, not destroy a
+                        # healthy pool.
+                        self._pool_failure(pool, exc)
+                        job.retries += 1
+                        if job.retries > self.retries:
+                            self._finish(
+                                job,
+                                error=(
+                                    f"worker died running this job "
+                                    f"{job.retries} time(s); retry budget "
+                                    f"({self.retries}) exhausted: "
+                                    f"{type(exc).__name__}: {exc}"
+                                ),
+                            )
+                            return
+                        self.counters["retried"] += 1
+                        obs.inc("service.retried")
+                        self._event(job, "retried", attempt=job.retries)
+                        continue  # replaced pool, or inline when none
+                    except asyncio.CancelledError:
+                        # A peer worker replacing the broken pool
+                        # cancelled our pending future: retry on the
+                        # replacement, uncharged.  A real cancellation
+                        # (server stop) keeps propagating.
+                        if not self._started or self._pool is pool:
+                            raise
+                        continue
+                if result is None:
+                    result = await self._await(
                         loop.run_in_executor(
-                            pool,
-                            jobs_mod._pool_entry,
-                            (job.kind, job.params),
+                            None, jobs_mod.compute_job, job.kind, job.params
                         ),
                         deadline,
                     )
-                    obs.merge_payload(payload)
-                except BrokenProcessPool as exc:
-                    # Infrastructure, not the job: a pool worker died
-                    # (OOM kill, hard crash).  Replace the pool for later
-                    # jobs and retry this one inline within the remaining
-                    # budget (same contract as parallel_map's serial
-                    # retry).  Only BrokenProcessPool is infrastructure
-                    # here: exceptions raised *by the job* — OSError
-                    # subclasses included, and on Python >= 3.11 the
-                    # builtin TimeoutError that asyncio raises on
-                    # job_timeout IS an OSError subclass — must fall
-                    # through to the handlers below, not destroy a
-                    # healthy pool.
-                    self._pool_failure(pool, exc)
-                except asyncio.CancelledError:
-                    # A peer worker replacing the broken pool cancelled
-                    # our pending future: retry inline.  A real task
-                    # cancellation (server stop) keeps propagating.
-                    if not self._started or self._pool is pool:
-                        raise
-            if result is None:
-                result = await self._await(
-                    loop.run_in_executor(
-                        None, jobs_mod.compute_job, job.kind, job.params
-                    ),
-                    deadline,
-                )
+                break
         except asyncio.TimeoutError:
             self.counters["timeouts"] += 1
             obs.inc("service.timeouts")
@@ -468,7 +693,17 @@ class JobServer:
         remaining = deadline - asyncio.get_running_loop().time()
         return await asyncio.wait_for(fut, timeout=max(0.0, remaining))
 
-    def _finish(self, job: Job, error: str | None = None) -> None:
+    def _finish(
+        self, job: Job, error: str | None = None, durable: bool = True
+    ) -> None:
+        """Move *job* to a terminal state and wake its waiters.
+
+        ``durable=False`` marks failures that only mean "this server is
+        going away" (stop, drain): they are not journaled, so the job
+        stays live in the journal and replays on the next start.
+        """
+        if job.state in _DONE_STATES:
+            return
         self._inflight.pop(job.key, None)
         job.finished = time.time()
         if error is None:
@@ -479,12 +714,16 @@ class JobServer:
                 source=job.source,
                 elapsed=job.finished - job.created,
             )
+            if job.journaled and self._journal is not None:
+                self._journal.record_done(job.key, source=job.source)
         else:
             job.state = "failed"
             job.error = error
             self.counters["failed"] += 1
             obs.inc("service.failed")
             self._event(job, "failed", error=error)
+            if durable and job.journaled and self._journal is not None:
+                self._journal.record_failed(job.key, error)
         job.done_event.set()
 
     def _event(self, job: Job, name: str, **fields: Any) -> None:
@@ -510,6 +749,36 @@ class JobServer:
             "cache": cache.stats(),
         }
 
+    def health(self) -> dict[str, Any]:
+        """Cheap readiness/liveness snapshot (the ``health`` op).
+
+        Unlike :meth:`stats` this never touches the cache directory, so
+        it is safe to poll aggressively (CI readiness gates, load
+        balancers): queue depth, pool state, journal lag and uptime.
+        """
+        h: dict[str, Any] = {
+            "accepting": self._started and not self._draining,
+            "draining": self._draining,
+            "uptime_s": (
+                time.time() - self.started_at
+                if self.started_at is not None
+                else 0.0
+            ),
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "queue_size": self.queue_size,
+            "inflight": len(self._inflight),
+            "running": sum(
+                1 for j in self._inflight.values() if j.state == "running"
+            ),
+            "workers": self.workers,
+            "pool": self._pool is not None,
+            "retries": self.retries,
+            "counters": dict(self.counters),
+        }
+        if self._journal is not None:
+            h["journal"] = self._journal.stats()
+        return h
+
     # ------------------------------------------------------------------
     # JSON-lines protocol
     # ------------------------------------------------------------------
@@ -520,6 +789,7 @@ class JobServer:
             writer.write(json.dumps(payload).encode() + b"\n")
             await writer.drain()
 
+        self._conns.add(writer)
         try:
             while True:
                 line = await reader.readline()
@@ -534,6 +804,15 @@ class JobServer:
                     continue
                 try:
                     stop_after = await self._handle_op(req, send)
+                except (QueueFullError, DrainingError) as exc:
+                    # Transient by construction: the client may retry
+                    # (after backoff / the restart) without rephrasing.
+                    await send({
+                        "ok": False,
+                        "error": str(exc),
+                        "retryable": True,
+                    })
+                    continue
                 except ReproError as exc:
                     await send({"ok": False, "error": str(exc)})
                     continue
@@ -542,6 +821,7 @@ class JobServer:
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            self._conns.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -560,12 +840,7 @@ class JobServer:
             )
             if req.get("wait", True):
                 await self._wait_done(job, req.get("timeout"))
-                await send({
-                    "ok": job.state == "done",
-                    "disposition": disposition,
-                    "job": job.to_dict(),
-                    **({"error": job.error} if job.error else {}),
-                })
+                await send(self._job_reply(job, disposition=disposition))
             else:
                 await send({
                     "ok": True,
@@ -578,11 +853,7 @@ class JobServer:
                 await send({"ok": False, "error": "unknown job_id"})
             elif op == "wait":
                 await self._wait_done(job, req.get("timeout"))
-                await send({
-                    "ok": job.state == "done",
-                    "job": job.to_dict(),
-                    **({"error": job.error} if job.error else {}),
-                })
+                await send(self._job_reply(job))
             else:
                 await send({"ok": True, "job": job.to_dict(include_result=False)})
         elif op == "watch":
@@ -607,6 +878,9 @@ class JobServer:
                 None, self.stats
             )
             await send({"ok": True, "stats": st})
+        elif op == "health":
+            # Cheap by construction (no cache scan): safe inline.
+            await send({"ok": True, "health": self.health()})
         elif op == "shutdown":
             await send({"ok": True, "stopping": True})
             asyncio.get_running_loop().create_task(self.stop())
@@ -614,6 +888,21 @@ class JobServer:
         else:
             await send({"ok": False, "error": f"unknown op {op!r}"})
         return False
+
+    @staticmethod
+    def _job_reply(job: Job, **extra: Any) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "ok": job.state == "done",
+            "job": job.to_dict(),
+            **extra,
+        }
+        if job.error:
+            payload["error"] = job.error
+            if job.error.startswith(_DRAIN_ERROR):
+                # Drain failures are transient: the job is journaled and
+                # replays after the restart — tell the client to retry.
+                payload["retryable"] = True
+        return payload
 
     @staticmethod
     async def _wait_done(job: Job, timeout: float | None) -> None:
@@ -727,6 +1016,17 @@ class ServerThread:
         if thread.is_alive():
             asyncio.run_coroutine_threadsafe(self.server.stop(), loop)
         thread.join(timeout=timeout)
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Graceful counterpart of :meth:`stop` (blocks until drained)."""
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+        if thread.is_alive():
+            asyncio.run_coroutine_threadsafe(
+                self.server.drain(timeout), loop
+            ).result(timeout=(timeout or self.server.drain_timeout) + 30)
+        thread.join(timeout=10)
 
     def __enter__(self) -> "ServerThread":
         return self.start()

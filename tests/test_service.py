@@ -10,6 +10,7 @@ and inline mode keeps the invocation counters observable.
 
 from __future__ import annotations
 
+import socket
 import threading
 import time
 
@@ -19,7 +20,10 @@ from repro import cache
 from repro.cache_backends import MemoryBackend
 from repro.errors import ReproError
 from repro.service import jobs as jobs_mod
-from repro.service.client import ServiceClient
+from repro.service.client import (
+    ConnectionLostError,
+    ServiceClient,
+)
 from repro.service.server import ServerThread
 
 
@@ -260,7 +264,8 @@ class TestPoolPathClassification:
         assert stats["counters"]["pool_failures"] == 0
         assert pool_after is pool
 
-    def test_broken_pool_is_replaced_and_job_retries_inline(self, recorder):
+    def test_broken_pool_is_replaced_and_job_retries_on_it(self, recorder):
+        from concurrent.futures import ThreadPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
 
         calls: list[dict] = []
@@ -274,13 +279,18 @@ class TestPoolPathClassification:
         jobs_mod.register_kind(recorder.name, recorder._resolve, compute)
         with _server(workers=1) as srv:
             pool = self._install_pool(srv)
+            # The replacement must also be a stand-in thread pool, or
+            # the retry would run in a process that cannot resolve the
+            # test-local kind (and `calls` would be invisible).
+            srv.server._new_pool = lambda: ThreadPoolExecutor(max_workers=1)
             with ServiceClient(**srv.address) as c:
                 resp = c.submit(recorder.name, {"x": 9})
                 stats = c.stats()
             pool_after = srv.server._pool
         assert resp["job"]["result"]["doubled"] == 18
-        assert len(calls) == 2  # pool attempt + inline retry
+        assert len(calls) == 2  # pool attempt + retry on the replacement
         assert stats["counters"]["pool_failures"] == 1
+        assert stats["counters"]["retried"] == 1
         assert pool_after is not None
         assert pool_after is not pool  # replaced, not degraded
 
@@ -368,6 +378,197 @@ class TestFailuresAndProtocol:
             c.shutdown()
         srv._thread.join(timeout=10)
         assert not srv._thread.is_alive()
+
+
+class _ScriptedServer:
+    """A raw TCP endpoint sending scripted bytes — a misbehaving server.
+
+    Reads one request line per scripted reply, writes the raw bytes
+    verbatim, then closes the connection.  Lets the client-side protocol
+    tests exercise truncated lines, garbage bytes and close races
+    without teaching the real server to misbehave.
+    """
+
+    def __init__(self, *replies: bytes):
+        self.replies = replies
+        self._srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._srv.bind(("127.0.0.1", 0))
+        self._srv.listen(1)
+        self.port = self._srv.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        try:
+            conn, _ = self._srv.accept()
+        except OSError:
+            return
+        with conn:
+            fh = conn.makefile("rwb")
+            for raw in self.replies:
+                if not fh.readline():
+                    return
+                fh.write(raw)
+                fh.flush()
+
+    def __enter__(self) -> "_ScriptedServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._srv.close()
+        self._thread.join(timeout=5)
+
+
+class TestProtocolRobustness:
+    """Client-side handling of a misbehaving or vanishing server."""
+
+    def test_garbage_bytes_raise_repro_error_naming_endpoint(self):
+        with _ScriptedServer(b"\xff\xfe not json either\n") as fake:
+            with ServiceClient(port=fake.port, timeout=10) as c:
+                with pytest.raises(ReproError, match="malformed response"):
+                    c.ping()
+
+    def test_non_json_line_raises_repro_error(self):
+        with _ScriptedServer(b"HTTP/1.1 400 Bad Request\n") as fake:
+            with ServiceClient(port=fake.port, timeout=10) as c:
+                with pytest.raises(
+                    ReproError, match=f"service at 127.0.0.1:{fake.port}"
+                ):
+                    c.ping()
+
+    def test_truncated_line_then_close_raises_repro_error(self):
+        # The server dies mid-write: the client reads a torn fragment
+        # with no newline, which must surface as a one-line ReproError,
+        # not a JSONDecodeError traceback.
+        with _ScriptedServer(b'{"ok": true, "po') as fake:
+            with ServiceClient(port=fake.port, timeout=10) as c:
+                with pytest.raises(ReproError, match="malformed response"):
+                    c.ping()
+
+    def test_close_without_reply_is_connection_lost(self):
+        with _ScriptedServer() as fake:  # accepts, reads, closes
+            with ServiceClient(port=fake.port, timeout=10) as c:
+                # Clean EOF or RST depending on timing — both must
+                # surface as the retryable ConnectionLostError.
+                with pytest.raises(ConnectionLostError):
+                    c.ping()
+
+    def test_shutdown_race_with_connection_close_is_success(self):
+        # The server may close the connection before the shutdown reply
+        # lands; that IS a successful shutdown (satellite fix).
+        with _ScriptedServer() as fake:
+            with ServiceClient(port=fake.port, timeout=10) as c:
+                c.shutdown()  # must not raise
+
+    def test_real_shutdown_still_reports_success(self, recorder):
+        srv = _server().start()
+        with ServiceClient(**srv.address) as c:
+            c.shutdown()
+        srv._thread.join(timeout=10)
+        assert not srv._thread.is_alive()
+
+    def test_server_closing_mid_watch_ends_cleanly(self, recorder):
+        # A watcher whose server goes away mid-stream must get either
+        # the in-memory failure notification ("server stopped") or a
+        # clean ReproError on the closed connection — never a hang or a
+        # raw traceback.
+        recorder.gate = threading.Event()
+        srv = _server(workers=1).start()
+        try:
+            with ServiceClient(**srv.address) as c:
+                sub = c.submit(recorder.name, {"x": 21}, wait=False)
+                stream = c.watch(sub["job"]["id"])
+                assert next(stream).get("event") == "queued"
+                srv.stop()
+                recorder.gate.set()
+                try:
+                    rest = list(stream)
+                except ReproError:
+                    rest = None  # connection died first: fine
+                if rest is not None:
+                    last = rest[-1]
+                    assert last.get("done") or last.get("event") == "failed"
+                    if last.get("done"):
+                        assert last["job"]["state"] == "failed"
+                        assert "server stopped" in last["job"]["error"]
+        finally:
+            recorder.gate.set()
+            srv.stop()
+
+
+class TestClientReconnect:
+    """retries= survives a server restart (content keys make it safe)."""
+
+    def test_submit_reconnects_after_restart(self, recorder, tmp_path):
+        sock = str(tmp_path / "svc.sock")
+        first = _server(socket_path=sock).start()
+        try:
+            c = ServiceClient(socket_path=sock, retries=4, backoff=0.05)
+            assert c.submit(recorder.name, {"x": 2})["job"]["state"] == "done"
+            first.stop()
+            second = _server(socket_path=sock).start()
+            try:
+                # Same connection object: the retry layer reconnects.
+                resp = c.submit(recorder.name, {"x": 2})
+                assert resp["job"]["result"]["doubled"] == 4
+                assert resp["disposition"] == "cached"  # at-rest dedup
+            finally:
+                c.close()
+                second.stop()
+        finally:
+            first.stop()
+        assert len(recorder.calls) == 1  # the restart recomputed nothing
+
+    def test_wait_reattaches_by_resubmitting_spec(self, recorder, tmp_path):
+        sock = str(tmp_path / "svc.sock")
+        first = _server(socket_path=sock).start()
+        try:
+            c = ServiceClient(socket_path=sock, retries=4, backoff=0.05)
+            sub = c.submit(recorder.name, {"x": 3}, wait=False)
+            job_id = sub["job"]["id"]
+            c.wait(job_id, timeout=30)
+            first.stop()
+            second = _server(socket_path=sock).start()
+            try:
+                # The new server never heard of job_id; the client
+                # resubmits the remembered spec, which is a cache hit.
+                resp = c.wait(job_id, timeout=30)
+                assert resp["job"]["result"]["doubled"] == 6
+            finally:
+                c.close()
+                second.stop()
+        finally:
+            first.stop()
+        assert len(recorder.calls) == 1
+
+    def test_watch_reattaches_after_restart(self, recorder, tmp_path):
+        sock = str(tmp_path / "svc.sock")
+        first = _server(socket_path=sock).start()
+        try:
+            c = ServiceClient(socket_path=sock, retries=4, backoff=0.05)
+            sub = c.submit(recorder.name, {"x": 5}, wait=False)
+            job_id = sub["job"]["id"]
+            c.wait(job_id, timeout=30)
+            first.stop()
+            second = _server(socket_path=sock).start()
+            try:
+                events = list(c.watch(job_id))
+                assert events[-1]["done"] is True
+                assert events[-1]["job"]["result"]["doubled"] == 10
+            finally:
+                c.close()
+                second.stop()
+        finally:
+            first.stop()
+
+    def test_no_retries_still_fails_fast(self, recorder, tmp_path):
+        sock = str(tmp_path / "svc.sock")
+        srv = _server(socket_path=sock).start()
+        c = ServiceClient(socket_path=sock)
+        srv.stop()
+        with pytest.raises(ReproError):
+            c.submit(recorder.name, {"x": 1})
+        c.close()
 
 
 class TestJobKinds:
