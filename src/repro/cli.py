@@ -3,6 +3,9 @@
 Subcommands mirror the library's main flows:
 
 * ``repro benchmarks`` — list the built-in synthetic benchmarks;
+* ``repro ingest <file>`` — compile a Python kernel (or load a
+  ``.json``/``.dot`` graph) into a ``repro/v1`` program artifact and
+  optionally register it as a named workload;
 * ``repro curve <benchmark>`` — build and print a task's configuration
   curve (optionally save it as JSON);
 * ``repro customize <benchmarks...>`` — Chapter 3 inter-task selection for
@@ -86,6 +89,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser("benchmarks",
                              help="list built-in synthetic benchmarks")
     _add_obs_flags(p_bench)
+
+    p_ing = sub.add_parser(
+        "ingest",
+        help="ingest real code (.py kernel, .json artifact or .dot graph) "
+             "as a workload",
+    )
+    p_ing.add_argument("source",
+                       help="a Python kernel (.py), a repro/v1 program/DFG "
+                            "artifact (.json) or a DOT graph (.dot)")
+    p_ing.add_argument("--function", default=None,
+                       help="function to ingest from a .py source (default: "
+                            "the only/decorated one)")
+    p_ing.add_argument("--name", default=None,
+                       help="workload name (default: the kernel's own name)")
+    p_ing.add_argument("--hints", default=None, metavar="JSON",
+                       help="kernel hints as a JSON object (overrides "
+                            "@kernel decorator hints)")
+    p_ing.add_argument("--output", default=None, metavar="FILE",
+                       help="write the program artifact here "
+                            "(default <name>.json)")
+    p_ing.add_argument("--register", nargs="?", const="", default=None,
+                       metavar="DIR",
+                       help="also install the artifact into DIR (default "
+                            "$REPRO_WORKLOAD_DIR), making the name "
+                            "resolvable by every pipeline")
+    p_ing.add_argument("--dot", default=None, metavar="FILE",
+                       help="render the largest basic block as DOT here")
+    p_ing.add_argument("--relabel", action="store_true",
+                       help="renumber non-topological node ids in imported "
+                            ".json/.dot graphs instead of rejecting them")
+    _add_obs_flags(p_ing)
 
     p_curve = sub.add_parser("curve", help="build a task's configuration curve")
     p_curve.add_argument("benchmark")
@@ -315,6 +349,102 @@ def _cmd_benchmarks() -> int:
     print(format_table(
         ["benchmark", "domain", "max_bb", "avg_bb", "wcet_cycles"], rows
     ))
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json as json_mod
+    from pathlib import Path
+
+    from repro import cache, frontend
+    from repro.graphs.export import dfg_to_dot
+
+    hints = None
+    if args.hints:
+        try:
+            hints = json_mod.loads(args.hints)
+            if not isinstance(hints, dict):
+                raise ValueError("not a JSON object")
+        except ValueError as exc:
+            raise ReproError(f"bad --hints: {exc}") from exc
+
+    source = Path(args.source)
+    suffix = source.suffix.lower()
+    if suffix == ".py":
+        program = frontend.ingest_path(
+            source, function=args.function, hints=hints, name=args.name
+        )
+    elif suffix == ".json":
+        from repro.graphs.program import Block, Program
+
+        data = repro_io.load_json(source)
+        kind = data.get("kind")
+        if kind == "program":
+            program = frontend.program_from_dict(data, relabel=args.relabel)
+        elif kind == "dfg":
+            dfg = frontend.dfg_from_dict(data, relabel=args.relabel)
+            program = Program(dfg.name or source.stem, Block(dfg))
+        else:
+            raise ReproError(
+                f"{source}: artifact kind {kind!r} is not ingestible "
+                "(expected 'program' or 'dfg')"
+            )
+        if args.name:
+            program = Program(args.name, program.root)
+    elif suffix == ".dot":
+        try:
+            text = source.read_text()
+        except OSError as exc:
+            raise ReproError(f"{source}: cannot read ({exc})") from exc
+        from repro.graphs.program import Block, Program
+
+        dfg = frontend.import_dot(text, relabel=args.relabel)
+        program = Program(args.name or dfg.name or source.stem, Block(dfg))
+    else:
+        raise ReproError(
+            f"{source}: unsupported source type {suffix!r} "
+            "(expected .py, .json or .dot)"
+        )
+
+    fingerprint = cache.program_fingerprint(program)
+    max_bb, avg_bb = program.block_stats()
+    n_ops = sum(len(b.dfg) for b in program.basic_blocks)
+    rows = [
+        ("name", program.name),
+        ("source", str(source)),
+        ("basic blocks", len(program.basic_blocks)),
+        ("operations", n_ops),
+        ("max/avg block size", f"{max_bb}/{avg_bb:.1f}"),
+        ("wcet cycles", f"{program.wcet():.0f}"),
+        ("avg cycles", f"{program.avg_cycles():.1f}"),
+        ("fingerprint", fingerprint[:16]),
+    ]
+    print(format_table(["property", "value"], rows))
+
+    artifact = frontend.program_to_dict(program)
+    output = Path(args.output) if args.output else Path(f"{program.name}.json")
+    repro_io.save_json(artifact, output)
+    print(f"saved program artifact to {output}")
+
+    if args.register is not None:
+        from repro.workloads import registry
+
+        target_dir = Path(args.register) if args.register else registry.workload_dir()
+        if target_dir is None:
+            raise ReproError(
+                "--register needs a directory (or set $REPRO_WORKLOAD_DIR)"
+            )
+        target_dir.mkdir(parents=True, exist_ok=True)
+        installed = target_dir / f"{program.name}.json"
+        repro_io.save_json(artifact, installed)
+        print(f"registered as {program.name!r} in {target_dir} "
+              f"(set {registry.ENV_WORKLOAD_DIR}={target_dir} to resolve it "
+              "by name)")
+
+    if args.dot:
+        biggest = max(program.basic_blocks, key=lambda b: len(b.dfg))
+        Path(args.dot).write_text(dfg_to_dot(biggest.dfg))
+        print(f"rendered largest block ({len(biggest.dfg)} ops) to {args.dot}")
     return 0
 
 
@@ -691,12 +821,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 #: Which parameter the positional benchmark names of ``repro submit``
-#: feed, per job kind.  ``reconfig`` takes hot loops, not benchmarks.
+#: feed, per job kind.  ``reconfig`` normally takes hot loops via
+#: ``--params``; positional names derive loops from benchmark curves.
 _SUBMIT_BENCH_PARAM = {
     "identify": "benchmark",
     "curve": "benchmark",
     "pareto": "benchmarks",
     "mlgp": "benchmarks",
+    "reconfig": "benchmarks",
     "mtreconfig": "benchmarks",
 }
 
@@ -812,6 +944,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "benchmarks":
         return _cmd_benchmarks()
+    if args.command == "ingest":
+        return _cmd_ingest(args)
     if args.command == "curve":
         return _cmd_curve(args)
     if args.command == "customize":

@@ -19,6 +19,14 @@ class GraphError(ReproError):
     """A dataflow or control-flow graph is malformed for the requested use."""
 
 
+class FrontendError(ReproError):
+    """Real-code ingestion failed (unsupported construct, malformed graph).
+
+    Messages name the offending source file and line where one exists, so
+    a user can fix their kernel without reading the importer.
+    """
+
+
 class ScheduleError(ReproError):
     """A task set or schedule parameterization is invalid."""
 

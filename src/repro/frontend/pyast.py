@@ -1,0 +1,811 @@
+"""Python AST front-end: compile a plain Python function into a program model.
+
+The thesis front-end consumed Trimaran CFGs plus syntax trees; here the same
+role is played by Python's own ``ast`` module.  A kernel written as an
+ordinary Python function is lowered into a
+:class:`~repro.graphs.program.Program` — a tree of ``Seq``/``Loop``/``IfElse``
+constructs over basic-block :class:`~repro.graphs.dfg.DataFlowGraph`\\ s — by
+def-use dataflow construction in the style of polyphony's
+``DFNode``/``DataFlowGraph`` builder: each statement's expression tree becomes
+primitive-operation nodes, names connect producers to consumers inside a
+block, and values crossing block boundaries become live-outs / live-in
+operands.
+
+Expression mapping onto :mod:`repro.isa.opcodes`:
+
+========================  ==========================================
+Python construct           primitive opcode(s)
+========================  ==========================================
+``+ - * // / %``           ``ADD SUB MUL DIV DIV DIV``
+``a + b * c``              fused ``MAC`` (multiply-accumulate)
+``<< >> & | ^ ~``          ``SHL SHR AND OR XOR NOT``
+``- x`` / ``not x``        ``NEG`` / ``NOT``
+comparisons                ``CMP`` (chains AND their ``CMP`` s)
+``and`` / ``or``           ``AND`` / ``OR``
+``a if c else b``          ``SELECT`` (operands ``c, a, b``)
+``min max abs``            ``MIN MAX ABS``
+``rotl rotr sext zext``    intrinsic calls -> the matching opcode
+``mac(a, x, y)``           explicit ``MAC``
+literals                   ``CONST`` (deduplicated per block)
+``x[i]`` load / store      ``LOAD`` / ``STORE`` (invalid: region split)
+``obj.attr`` load          ``LOAD`` (invalid: region split)
+other calls                ``CALL`` (invalid: region split)
+========================  ==========================================
+
+Subscript accesses and calls are *invalid* operations per thesis
+Section 5.2.1 — they can never join a custom instruction and split the
+block into regions.  Anything without a sensible opcode mapping
+(``while``-less constructs such as ``try``, ``with``, ``yield``,
+comprehensions, starred args...) raises
+:class:`~repro.errors.FrontendError` naming the source file and line.
+
+Loop bounds and branch probabilities come from :func:`kernel` decorator
+hints, falling back to documented defaults (:data:`DEFAULT_LOOP_BOUND`
+worst-case iterations, 50/50 branches, average trip = bound):
+
+* ``bounds={"i": 32}`` — worst-case trip count per loop variable
+  (``"while#0"``, ``"while#1"``... key the whiles in source order);
+* ``bound=64`` — fallback for loops the keys above don't name
+  (``for`` loops over constant ``range()`` derive their bound exactly
+  and ignore the fallback);
+* ``avg_trips={"i": 28.5}`` / ``avg_trip_ratio=0.8`` — average-case trip
+  counts for profiling;
+* ``taken_probs={0: 0.9}`` — then-branch probability per ``if``, keyed by
+  source order; ``taken_prob=0.5`` is the fallback.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import FrontendError
+from repro.graphs.dfg import DataFlowGraph
+from repro.graphs.program import Block, IfElse, Loop, Program, Seq
+from repro.isa.opcodes import Opcode
+
+__all__ = [
+    "DEFAULT_LOOP_BOUND",
+    "KernelHints",
+    "ingest_function",
+    "ingest_path",
+    "ingest_source",
+    "kernel",
+]
+
+#: Worst-case trip count assumed for loops with no static bound and no hint.
+DEFAULT_LOOP_BOUND = 64
+
+_HINTS_ATTR = "__repro_hints__"
+
+
+@dataclass(frozen=True)
+class KernelHints:
+    """Front-end hints attached to a kernel (see the :func:`kernel` table).
+
+    All fields are optional; absent hints fall back to the documented
+    defaults.  ``name`` overrides the workload name (default: the
+    function's own name).
+    """
+
+    name: str | None = None
+    bound: int = DEFAULT_LOOP_BOUND
+    bounds: Mapping[str, int] = field(default_factory=dict)
+    avg_trip_ratio: float = 1.0
+    avg_trips: Mapping[str, float] = field(default_factory=dict)
+    taken_prob: float = 0.5
+    taken_probs: Mapping[int, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_mapping(cls, data: Mapping | None) -> "KernelHints":
+        """Build hints from a plain dict (e.g. ``repro ingest --hints``)."""
+        if not data:
+            return cls()
+        unknown = set(data) - {f.name for f in cls.__dataclass_fields__.values()}
+        if unknown:
+            raise FrontendError(
+                f"unknown kernel hint(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**dict(data))
+
+    def loop_bound(self, key: str, static: int | None) -> int:
+        explicit = _mapping_get(self.bounds, key)
+        if explicit is not None:
+            return int(explicit)
+        if static is not None:
+            return static
+        return int(self.bound)
+
+    def loop_avg(self, key: str, bound: int) -> float:
+        explicit = _mapping_get(self.avg_trips, key)
+        if explicit is not None:
+            return float(explicit)
+        return float(bound) * float(self.avg_trip_ratio)
+
+    def branch_prob(self, index: int) -> float:
+        explicit = _mapping_get(self.taken_probs, index)
+        if explicit is not None:
+            return float(explicit)
+        return float(self.taken_prob)
+
+
+def _mapping_get(mapping: Mapping, key):
+    """Tolerant lookup: JSON hints arrive with string keys."""
+    if key in mapping:
+        return mapping[key]
+    return mapping.get(str(key))
+
+
+def kernel(fn: Callable | None = None, /, **hints):
+    """Decorator attaching :class:`KernelHints` to a kernel function.
+
+    Usable bare (``@kernel``) or parameterized (``@kernel(bound=32,
+    taken_probs={0: 0.9})``).  The function itself is returned unchanged —
+    it stays callable, and the hints ride along on a
+    ``__repro_hints__`` attribute read by :func:`ingest_function`
+    (and statically by :func:`ingest_source` for ``.py`` files).
+    """
+    parsed = KernelHints.from_mapping(hints)
+
+    def attach(f: Callable) -> Callable:
+        setattr(f, _HINTS_ATTR, parsed)
+        return f
+
+    if fn is not None:
+        return attach(fn)
+    return attach
+
+
+# ----------------------------------------------------------------------
+# Expression -> opcode tables
+# ----------------------------------------------------------------------
+_BINOPS: dict[type, Opcode] = {
+    ast.Add: Opcode.ADD,
+    ast.Sub: Opcode.SUB,
+    ast.Mult: Opcode.MUL,
+    ast.Div: Opcode.DIV,
+    ast.FloorDiv: Opcode.DIV,
+    ast.Mod: Opcode.DIV,  # a hardware modulo shares the divider
+    ast.LShift: Opcode.SHL,
+    ast.RShift: Opcode.SHR,
+    ast.BitAnd: Opcode.AND,
+    ast.BitOr: Opcode.OR,
+    ast.BitXor: Opcode.XOR,
+}
+
+_UNARYOPS: dict[type, Opcode] = {
+    ast.USub: Opcode.NEG,
+    ast.Invert: Opcode.NOT,
+    ast.Not: Opcode.NOT,
+}
+
+#: Calls by these names map onto primitive opcodes instead of ``CALL``.
+_INTRINSICS: dict[str, tuple[Opcode, int]] = {
+    "abs": (Opcode.ABS, 1),
+    "min": (Opcode.MIN, 2),
+    "max": (Opcode.MAX, 2),
+    "rotl": (Opcode.ROTL, 2),
+    "rotr": (Opcode.ROTR, 2),
+    "sext": (Opcode.SEXT, 1),
+    "zext": (Opcode.ZEXT, 1),
+    "mac": (Opcode.MAC, 3),
+    "select": (Opcode.SELECT, 3),
+}
+
+
+class _Lowering:
+    """One function's lowering state (open block, def-use maps, counters)."""
+
+    def __init__(self, name: str, filename: str, hints: KernelHints) -> None:
+        self.name = name
+        self.filename = filename
+        self.hints = hints
+        #: Reaching definitions per name in *closed* blocks.  Multiple
+        #: entries arise from if/else merges, where either branch's
+        #: definition may reach a later use.
+        self.prior_defs: dict[str, tuple[tuple[DataFlowGraph, int], ...]] = {}
+        self.block_count = 0
+        self.if_count = 0
+        self.while_count = 0
+        self.loop_depth = 0
+        self._open_dfg: DataFlowGraph | None = None
+        self._defs: dict[str, int] = {}
+        self._consts: dict[tuple, int] = {}
+        self._external_uses: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def err(self, node: ast.AST | None, message: str) -> FrontendError:
+        where = self.filename
+        if node is not None and hasattr(node, "lineno"):
+            where = f"{where}:{node.lineno}"
+        return FrontendError(f"{where}: {message}")
+
+    # ------------------------------------------------------------------
+    # Block management
+    # ------------------------------------------------------------------
+    def open_dfg(self) -> DataFlowGraph:
+        if self._open_dfg is None:
+            self._open_dfg = DataFlowGraph(
+                name=f"{self.name}.bb{self.block_count}"
+            )
+            self.block_count += 1
+            self._defs = {}
+            self._consts = {}
+            self._external_uses = set()
+        return self._open_dfg
+
+    def flush(self, out: list) -> None:
+        """Close the open block (if any) into *out* and publish its defs."""
+        dfg = self._open_dfg
+        if dfg is None:
+            return
+        self._open_dfg = None
+        if len(dfg):
+            for var, node in self._defs.items():
+                self.prior_defs[var] = ((dfg, node),)
+            out.append(Block(dfg))
+        self._defs = {}
+        self._consts = {}
+        self._external_uses = set()
+
+    # ------------------------------------------------------------------
+    # Operand resolution
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        op: Opcode,
+        operands: list[int | None],
+        live_out: bool = False,
+    ) -> int:
+        dfg = self.open_dfg()
+        preds = [o for o in operands if o is not None]
+        external = sum(1 for o in operands if o is None)
+        return dfg.add_op(op, preds, live_out=live_out, external_inputs=external)
+
+    def const(self, value) -> int:
+        dfg = self.open_dfg()
+        key = (type(value).__name__, value)
+        node = self._consts.get(key)
+        if node is None:
+            node = dfg.add_op(Opcode.CONST)
+            self._consts[key] = node
+        return node
+
+    def use_name(self, name: str) -> int | None:
+        """Resolve a name use: in-block producer id, or None (live-in).
+
+        A use satisfied by an *earlier block's* definition marks that
+        definition live-out — the def-use chain crosses the block
+        boundary through a register.
+        """
+        if self._open_dfg is not None and name in self._defs:
+            return self._defs[name]
+        self._external_uses.add(name)
+        for src_dfg, src_node in self.prior_defs.get(name, ()):
+            src_dfg.set_live_out(src_node)
+        return None
+
+    def define(self, name: str, node: int | None, stmt: ast.AST) -> None:
+        """Bind *name* to *node* in the open block.
+
+        An external (non-node) value is materialized as a ``MOV`` so the
+        binding has a producer.  Inside a loop, redefining a name the
+        block already consumed from outside makes the new definition
+        live-out: the value is carried into the next iteration.
+        """
+        if node is None:
+            node = self.add_node(Opcode.MOV, [None])
+        self._defs[name] = node
+        if self.loop_depth > 0 and name in self._external_uses:
+            self.open_dfg().set_live_out(node)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def expr(self, node: ast.expr) -> int | None:
+        """Lower an expression; return its producer node (None = live-in)."""
+        if isinstance(node, ast.Name):
+            return self.use_name(node.id)
+        if isinstance(node, ast.Constant):
+            if node.value is None or isinstance(node.value, (bool, int, float)):
+                return self.const(node.value)
+            raise self.err(
+                node, f"unsupported literal {type(node.value).__name__!r}"
+            )
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.UnaryOp):
+            op = _UNARYOPS.get(type(node.op))
+            if op is None:  # UAdd is a no-op
+                return self.expr(node.operand)
+            return self.add_node(op, [self.expr(node.operand)])
+        if isinstance(node, ast.Compare):
+            return self._compare(node)
+        if isinstance(node, ast.BoolOp):
+            op = Opcode.AND if isinstance(node.op, ast.And) else Opcode.OR
+            acc = self.expr(node.values[0])
+            for value in node.values[1:]:
+                acc = self.add_node(op, [acc, self.expr(value)])
+            return acc
+        if isinstance(node, ast.IfExp):
+            cond = self.expr(node.test)
+            then = self.expr(node.body)
+            other = self.expr(node.orelse)
+            return self.add_node(Opcode.SELECT, [cond, then, other])
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Subscript):
+            return self._load(node)
+        if isinstance(node, ast.Attribute):
+            # A field read is a memory access: LOAD of an external address.
+            return self.add_node(Opcode.LOAD, [None])
+        if isinstance(node, (ast.Tuple, ast.List)):
+            raise self.err(
+                node,
+                "tuple/list expressions are only supported as assignment "
+                "targets and return values",
+            )
+        raise self.err(
+            node, f"unsupported expression {type(node).__name__!r}"
+        )
+
+    def _binop(self, node: ast.BinOp) -> int:
+        kind = type(node.op)
+        if kind not in _BINOPS:
+            raise self.err(
+                node, f"unsupported operator {type(node.op).__name__!r}"
+            )
+        if kind is ast.Add:
+            # MAC fusion: a + b*c (either side) has single-consumer MUL
+            # operands by construction, so fold them into one 3-input MAC.
+            for mul, acc in ((node.left, node.right), (node.right, node.left)):
+                if isinstance(mul, ast.BinOp) and isinstance(mul.op, ast.Mult):
+                    acc_v = self.expr(acc)
+                    x = self.expr(mul.left)
+                    y = self.expr(mul.right)
+                    return self.add_node(Opcode.MAC, [acc_v, x, y])
+        return self.add_node(
+            _BINOPS[kind], [self.expr(node.left), self.expr(node.right)]
+        )
+
+    def _compare(self, node: ast.Compare) -> int:
+        left = self.expr(node.left)
+        cmps: list[int] = []
+        for op, comparator in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Is, ast.IsNot, ast.In, ast.NotIn)):
+                raise self.err(
+                    node, f"unsupported comparison {type(op).__name__!r}"
+                )
+            right = self.expr(comparator)
+            cmps.append(self.add_node(Opcode.CMP, [left, right]))
+            left = right
+        acc = cmps[0]
+        for extra in cmps[1:]:
+            acc = self.add_node(Opcode.AND, [acc, extra])
+        return acc
+
+    def _call(self, node: ast.Call) -> int:
+        if node.keywords:
+            raise self.err(node, "calls with keyword arguments are unsupported")
+        callee = node.func.id if isinstance(node.func, ast.Name) else None
+        args = [self.expr(a) for a in node.args]
+        intrinsic = _INTRINSICS.get(callee) if callee else None
+        if intrinsic is not None:
+            op, arity = intrinsic
+            if op in (Opcode.MIN, Opcode.MAX) and len(args) > arity:
+                acc = args[0]
+                for extra in args[1:]:
+                    acc = self.add_node(op, [acc, extra])
+                return acc
+            if len(args) != arity:
+                raise self.err(
+                    node, f"{callee}() takes {arity} argument(s), got {len(args)}"
+                )
+            return self.add_node(op, args)
+        # Opaque call: an invalid region-splitting operation.
+        return self.add_node(Opcode.CALL, args)
+
+    def _load(self, node: ast.Subscript) -> int:
+        address = self._address(node)
+        return self.add_node(Opcode.LOAD, [address])
+
+    def _address(self, node: ast.Subscript) -> int | None:
+        """Address operand of a subscript: the index expression's value.
+
+        The base is an external pointer when it is a plain name; a
+        computed base (e.g. ``a[i][j]``) contributes its own node.
+        """
+        if isinstance(node.slice, ast.Slice):
+            raise self.err(node, "slice subscripts are unsupported")
+        index = self.expr(node.slice)
+        if isinstance(node.value, ast.Name):
+            return index
+        base = self.expr(node.value)
+        return self.add_node(Opcode.ADD, [base, index])
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def lower_stmts(self, stmts: list[ast.stmt]) -> list:
+        out: list = []
+        for stmt in stmts:
+            self.stmt(stmt, out)
+        self.flush(out)
+        return out
+
+    def stmt(self, stmt: ast.stmt, out: list) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._assign(stmt, stmt.targets, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self._aug_assign(stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt, [stmt.target], stmt.value)
+        elif isinstance(stmt, ast.Return):
+            self._return(stmt)
+        elif isinstance(stmt, ast.Expr):
+            if isinstance(stmt.value, ast.Constant) and isinstance(
+                stmt.value.value, str
+            ):
+                return  # docstring
+            self.expr(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt, out)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt, out)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt, out)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            # Early exit only shortens the trip count; the worst-case
+            # bound stands.  The jump itself is a branch operation.
+            self.add_node(Opcode.BRANCH, [None])
+        elif isinstance(stmt, ast.Pass):
+            return
+        else:
+            raise self.err(
+                stmt, f"unsupported construct {type(stmt).__name__!r}"
+            )
+
+    def _assign(
+        self, stmt: ast.stmt, targets: list[ast.expr], value: ast.expr
+    ) -> None:
+        if len(targets) != 1:
+            raise self.err(stmt, "chained assignment is unsupported")
+        target = targets[0]
+        if isinstance(target, ast.Tuple):
+            if not isinstance(value, ast.Tuple) or len(value.elts) != len(
+                target.elts
+            ):
+                raise self.err(
+                    stmt, "tuple assignment needs a matching tuple of values"
+                )
+            values = [self.expr(v) for v in value.elts]
+            for t, v in zip(target.elts, values):
+                if not isinstance(t, ast.Name):
+                    raise self.err(stmt, "tuple targets must be plain names")
+                self.define(t.id, v, stmt)
+            return
+        if isinstance(target, ast.Name):
+            self.define(target.id, self.expr(value), stmt)
+            return
+        if isinstance(target, ast.Subscript):
+            value_node = self.expr(value)
+            address = self._address(target)
+            self.add_node(Opcode.STORE, [value_node, address])
+            return
+        raise self.err(
+            stmt, f"unsupported assignment target {type(target).__name__!r}"
+        )
+
+    def _aug_assign(self, stmt: ast.AugAssign) -> None:
+        desugared = ast.BinOp(
+            left=_target_as_load(stmt.target), op=stmt.op, right=stmt.value
+        )
+        ast.copy_location(desugared, stmt)
+        ast.fix_missing_locations(desugared)
+        self._assign(stmt, [stmt.target], desugared)
+
+    def _return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            return
+        values = (
+            stmt.value.elts
+            if isinstance(stmt.value, ast.Tuple)
+            else [stmt.value]
+        )
+        for value in values:
+            node = self.expr(value)
+            if node is not None:
+                self.open_dfg().set_live_out(node)
+
+    def _if(self, stmt: ast.If, out: list) -> None:
+        index = self.if_count
+        self.if_count += 1
+        cond = self.expr(stmt.test)
+        self.add_node(Opcode.BRANCH, [cond])
+        self.flush(out)
+        # Each branch lowers against the pre-branch def map; afterwards
+        # both branches' definitions are visible (an approximation of the
+        # phi-merge: later uses mark whichever branch defined last).
+        snapshot = dict(self.prior_defs)
+        then_branch = Seq(self.lower_stmts(stmt.body))
+        then_defs = self.prior_defs
+        self.prior_defs = dict(snapshot)
+        else_branch = Seq(self.lower_stmts(stmt.orelse))
+        else_defs = self.prior_defs
+        merged = dict(snapshot)
+        for name in set(then_defs) | set(else_defs):
+            reaching: dict[tuple[int, int], tuple[DataFlowGraph, int]] = {}
+            for defs in (then_defs.get(name, ()), else_defs.get(name, ())):
+                for src_dfg, src_node in defs:
+                    reaching[(id(src_dfg), src_node)] = (src_dfg, src_node)
+            merged[name] = tuple(reaching.values())
+        self.prior_defs = merged
+        out.append(
+            IfElse(
+                then_branch=then_branch,
+                else_branch=else_branch,
+                taken_prob=self.hints.branch_prob(index),
+            )
+        )
+
+    def _for(self, stmt: ast.For, out: list) -> None:
+        if stmt.orelse:
+            raise self.err(stmt, "for/else is unsupported")
+        if not isinstance(stmt.target, ast.Name):
+            raise self.err(stmt, "loop target must be a plain name")
+        call = stmt.iter
+        if not (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Name)
+            and call.func.id == "range"
+            and 1 <= len(call.args) <= 3
+            and not call.keywords
+        ):
+            raise self.err(
+                stmt,
+                "only 'for <name> in range(...)' loops are supported "
+                "(use a @kernel bound hint for anything else)",
+            )
+        var = stmt.target.id
+        static = _static_range_trips(call.args)
+        dynamic = static is None
+        bound_node: int | None = None
+        if dynamic:
+            # Dynamic bound: its expression is computed in the preheader
+            # (a plain name stays a live-in and produces no node).
+            for arg in call.args:
+                bound_node = self.expr(arg)
+        bound = self.hints.loop_bound(var, static)
+        if bound <= 0:
+            return  # statically empty loop: dead code
+        if bound_node is not None:
+            # The latch compares against the bound across the block edge.
+            self.open_dfg().set_live_out(bound_node)
+        self.flush(out)
+        self.loop_depth += 1
+        body: list = []
+        # Induction step: i' = i + 1, carried into the next iteration.
+        step = self.add_node(Opcode.ADD, [None, self.const(1)], live_out=True)
+        self._defs[var] = step
+        for inner in stmt.body:
+            self.stmt(inner, body)
+        # Loop latch: compare the induction value against the bound and
+        # branch back (the bound is a live-in when dynamic, a constant
+        # otherwise).
+        limit = None if dynamic else self.const(bound)
+        cmp = self.add_node(Opcode.CMP, [self.use_name(var), limit])
+        self.add_node(Opcode.BRANCH, [cmp])
+        self.flush(body)
+        self.loop_depth -= 1
+        out.append(
+            Loop(
+                body=Seq(body),
+                bound=bound,
+                avg_trip=min(self.hints.loop_avg(var, bound), float(bound)),
+            )
+        )
+
+    def _while(self, stmt: ast.While, out: list) -> None:
+        if stmt.orelse:
+            raise self.err(stmt, "while/else is unsupported")
+        key = f"while#{self.while_count}"
+        self.while_count += 1
+        self.flush(out)
+        self.loop_depth += 1
+        body: list = []
+        # The condition re-evaluates every iteration: it heads the body.
+        cond = self.expr(stmt.test)
+        self.add_node(Opcode.BRANCH, [cond])
+        for inner in stmt.body:
+            self.stmt(inner, body)
+        self.flush(body)
+        self.loop_depth -= 1
+        bound = self.hints.loop_bound(key, None)
+        out.append(
+            Loop(
+                body=Seq(body),
+                bound=bound,
+                avg_trip=min(self.hints.loop_avg(key, bound), float(bound)),
+            )
+        )
+
+
+def _target_as_load(target: ast.expr) -> ast.expr:
+    """The load-context twin of an assignment target (for ``x += ...``)."""
+    dup = ast.parse(ast.unparse(target), mode="eval").body
+    ast.copy_location(dup, target)
+    ast.fix_missing_locations(dup)
+    return dup
+
+
+def _static_range_trips(args: list[ast.expr]) -> int | None:
+    """Trip count of ``range(...)`` when every argument is a literal."""
+    values = []
+    for arg in args:
+        try:
+            values.append(ast.literal_eval(arg))
+        except (ValueError, SyntaxError):
+            return None
+    if not all(isinstance(v, int) for v in values):
+        return None
+    try:
+        return len(range(*values))
+    except (TypeError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def _lower_function(
+    fndef: ast.FunctionDef,
+    filename: str,
+    hints: KernelHints,
+    name: str | None,
+) -> Program:
+    program_name = name or hints.name or fndef.name
+    lowering = _Lowering(program_name, filename, hints)
+    constructs = lowering.lower_stmts(fndef.body)
+    if not any(True for c in Seq(constructs).blocks()):
+        raise lowering.err(
+            fndef, f"function {fndef.name!r} has no operations to ingest"
+        )
+    return Program(program_name, Seq(constructs))
+
+
+def ingest_function(
+    fn: Callable,
+    hints: KernelHints | Mapping | None = None,
+    name: str | None = None,
+) -> Program:
+    """Compile a live Python function into a :class:`Program`.
+
+    Hints are taken from the :func:`kernel` decorator when present;
+    explicitly passed *hints* override them wholesale.
+    """
+    if hints is None:
+        hints = getattr(fn, _HINTS_ATTR, None)
+    if not isinstance(hints, KernelHints):
+        hints = KernelHints.from_mapping(hints)
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+        filename = inspect.getsourcefile(fn) or "<function>"
+    except (OSError, TypeError) as exc:
+        raise FrontendError(
+            f"cannot read the source of {getattr(fn, '__name__', fn)!r}: {exc}"
+        ) from exc
+    return ingest_source(
+        source,
+        filename=filename,
+        function=getattr(fn, "__name__", None),
+        hints=hints,
+        name=name,
+    )
+
+
+def ingest_source(
+    source: str,
+    filename: str = "<string>",
+    function: str | None = None,
+    hints: KernelHints | Mapping | None = None,
+    name: str | None = None,
+) -> Program:
+    """Compile Python source text into a :class:`Program`.
+
+    *function* selects a top-level ``def`` by name.  Without it, a module
+    with a single function ingests that one; with several, exactly one
+    must carry a :func:`kernel` decorator.  Decorator hints are read
+    statically (literal keyword values) so a ``.py`` file ingests without
+    being imported; explicitly passed *hints* override them.
+    """
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        raise FrontendError(
+            f"{filename}:{exc.lineno or 0}: not valid Python ({exc.msg})"
+        ) from exc
+    fndefs = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if not fndefs:
+        raise FrontendError(f"{filename}: no function definition found")
+    chosen = _choose_function(fndefs, function, filename)
+    if hints is None:
+        hints = _static_hints(chosen, filename)
+    if not isinstance(hints, KernelHints):
+        hints = KernelHints.from_mapping(hints)
+    return _lower_function(chosen, filename, hints, name)
+
+
+def ingest_path(
+    path: str | Path,
+    function: str | None = None,
+    hints: KernelHints | Mapping | None = None,
+    name: str | None = None,
+) -> Program:
+    """Compile a ``.py`` file into a :class:`Program` (see
+    :func:`ingest_source`)."""
+    path = Path(path)
+    try:
+        source = path.read_text()
+    except OSError as exc:
+        raise FrontendError(f"{path}: cannot read ({exc})") from exc
+    return ingest_source(
+        source, filename=str(path), function=function, hints=hints, name=name
+    )
+
+
+def _choose_function(
+    fndefs: list[ast.FunctionDef], function: str | None, filename: str
+) -> ast.FunctionDef:
+    if function is not None:
+        for fndef in fndefs:
+            if fndef.name == function:
+                return fndef
+        raise FrontendError(
+            f"{filename}: no function named {function!r} "
+            f"(found: {', '.join(f.name for f in fndefs)})"
+        )
+    if len(fndefs) == 1:
+        return fndefs[0]
+    decorated = [f for f in fndefs if _kernel_decorator(f) is not None]
+    if len(decorated) == 1:
+        return decorated[0]
+    raise FrontendError(
+        f"{filename}: {len(fndefs)} functions found; pick one with "
+        "--function or decorate exactly one with @kernel"
+    )
+
+
+def _kernel_decorator(fndef: ast.FunctionDef) -> ast.expr | None:
+    for deco in fndef.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "kernel":
+            return deco
+        if isinstance(target, ast.Attribute) and target.attr == "kernel":
+            return deco
+    return None
+
+
+def _static_hints(fndef: ast.FunctionDef, filename: str) -> KernelHints:
+    """Read ``@kernel(...)`` hints statically from the decorator AST."""
+    deco = _kernel_decorator(fndef)
+    if deco is None or not isinstance(deco, ast.Call):
+        return KernelHints()
+    values: dict = {}
+    for kw in deco.keywords:
+        if kw.arg is None:
+            raise FrontendError(
+                f"{filename}:{deco.lineno}: @kernel(**...) is unsupported"
+            )
+        try:
+            values[kw.arg] = ast.literal_eval(kw.value)
+        except (ValueError, SyntaxError) as exc:
+            raise FrontendError(
+                f"{filename}:{deco.lineno}: @kernel hint {kw.arg!r} must be "
+                f"a literal value"
+            ) from exc
+    return KernelHints.from_mapping(values)

@@ -3,6 +3,10 @@
 Debugging/documentation aid: render a basic block's DFG — optionally with
 selected custom instructions highlighted as clusters — with
 ``dot -Tpng block.dot -o block.png``.
+
+The node lines carry ``xin`` (external live-in operand count) and
+``liveout`` attributes, so :func:`repro.frontend.import_dot` can rebuild
+the exact :class:`~repro.graphs.dfg.DataFlowGraph` from the rendered text.
 """
 
 from __future__ import annotations
@@ -16,7 +20,20 @@ __all__ = ["dfg_to_dot", "rewritten_to_dot"]
 
 
 def _esc(text: str) -> str:
-    return text.replace('"', '\\"')
+    """Escape a string for use inside a double-quoted DOT literal.
+
+    Backslashes must be doubled *before* quoting, otherwise a name ending
+    in a backslash would swallow the closing quote.
+    """
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _node_attrs(dfg: DataFlowGraph, n: int) -> str:
+    """Roundtrip attributes for node *n* (consumed by ``import_dot``)."""
+    attrs = f", xin={dfg.external_inputs(n)}"
+    if dfg.is_live_out(n):
+        attrs += ", liveout=true"
+    return attrs
 
 
 def dfg_to_dot(
@@ -33,7 +50,8 @@ def dfg_to_dot(
         name: graph name (defaults to the DFG's own name).
 
     Returns:
-        DOT source text.
+        DOT source text.  :func:`repro.frontend.import_dot` parses it back
+        into an equal graph.
     """
     label = _esc(name or dfg.name or "dfg")
     lines = [f'digraph "{label}" {{', "  rankdir=TB;", '  node [shape=box, fontsize=10];']
@@ -46,7 +64,8 @@ def dfg_to_dot(
         for n in members:
             shape = "box" if dfg.is_valid_node(n) else "ellipse"
             lines.append(
-                f'    n{n} [label="{n}: {_esc(str(dfg.op(n)))}", shape={shape}];'
+                f'    n{n} [label="{n}: {_esc(str(dfg.op(n)))}", '
+                f"shape={shape}{_node_attrs(dfg, n)}];"
             )
         lines.append("  }")
     for n in dfg.nodes:
@@ -55,7 +74,8 @@ def dfg_to_dot(
         shape = "box" if dfg.is_valid_node(n) else "ellipse"
         style = "" if dfg.is_valid_node(n) else ", style=dashed"
         lines.append(
-            f'  n{n} [label="{n}: {_esc(str(dfg.op(n)))}", shape={shape}{style}];'
+            f'  n{n} [label="{n}: {_esc(str(dfg.op(n)))}", '
+            f"shape={shape}{_node_attrs(dfg, n)}{style}];"
         )
     for n in dfg.nodes:
         for p in dfg.preds(n):
@@ -70,14 +90,13 @@ def rewritten_to_dot(block: RewrittenBlock, name: str = "rewritten") -> str:
     for n in block.order:
         members = block.node_members[n]
         if len(members) > 1:
-            label = f"CI({len(members)} ops, {block.node_latency[n]}cy)"
+            label = _esc(f"CI({len(members)} ops, {block.node_latency[n]}cy)")
             lines.append(
                 f'  n{n} [label="{label}", shape=box, peripheries=2];'
             )
         else:
-            lines.append(
-                f'  n{n} [label="{members[0]} ({block.node_latency[n]}cy)", shape=box];'
-            )
+            label = _esc(f"{members[0]} ({block.node_latency[n]}cy)")
+            lines.append(f'  n{n} [label="{label}", shape=box];')
     for n in block.order:
         for p in block.preds.get(n, ()):
             lines.append(f"  n{p} -> n{n};")

@@ -8,6 +8,8 @@ hardware — into the solvers without touching the synthetic substrate.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any
 
@@ -141,8 +143,28 @@ def reconfig_tasks_from_dict(data: dict[str, Any]) -> list[ReconfigTask]:
 
 
 def save_json(data: dict[str, Any], path: str | Path) -> None:
-    """Write a serialized artifact to *path*."""
-    Path(path).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    """Write a serialized artifact to *path* atomically.
+
+    The text lands in a temporary file in the destination directory and is
+    renamed into place with :func:`os.replace`, so a crash or SIGKILL
+    mid-write can never leave a torn artifact behind: readers observe
+    either the previous content or the complete new one.
+    """
+    path = Path(path)
+    text = json.dumps(data, indent=2, sort_keys=True) + "\n"
+    fd, tmp = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent or "."
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_json(path: str | Path) -> dict[str, Any]:

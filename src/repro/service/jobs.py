@@ -24,6 +24,13 @@ to inject controllable jobs; embedders can expose bespoke flows).
 Registration is process-local: a custom kind is only computable in pool
 workers if the registering module is importable there, so tests register
 custom kinds on inline (``use_processes=False``) servers.
+
+Benchmark names resolve through :func:`repro.workloads.get_program`, which
+includes ingested real-code workloads (:mod:`repro.workloads.registry`):
+path-like names and ``$REPRO_WORKLOAD_DIR`` entries re-resolve identically
+inside process-pool workers (the path / environment travels with the
+process), while in-memory ``register_program`` bindings only resolve on
+inline servers.
 """
 
 from __future__ import annotations
@@ -356,6 +363,8 @@ def _compute_mlgp(params: dict) -> dict:
 # ----------------------------------------------------------------------
 _RECONFIG_DEFAULTS: dict[str, Any] = {
     "loops": None,  # hot-loops dict (repro.io schema); None = JPEG
+    "benchmarks": None,  # alternatively: derive loops from benchmark curves
+    "max_versions": 4,  # versions kept per derived loop
     "max_area": None,
     "rho": None,
     "seed": 0,
@@ -364,6 +373,20 @@ _RECONFIG_DEFAULTS: dict[str, Any] = {
 
 
 def _reconfig_inputs(p: dict):
+    if p.get("benchmarks"):
+        # Derive hot loops from the benchmarks' configuration curves
+        # (works for ingested real-code workloads too).  This runs
+        # enumeration, so it only happens in the compute step — the
+        # resolve step keys on program fingerprints instead.
+        from repro import frontend
+
+        loops, trace = frontend.loops_from_programs(
+            _programs(_benchmarks(p["benchmarks"], "reconfig")),
+            max_versions=p["max_versions"],
+        )
+        max_area = p["max_area"] if p["max_area"] is not None else 2048.0
+        rho = p["rho"] if p["rho"] is not None else 15.0
+        return loops, trace, max_area, rho
     if p["loops"] is not None:
         from repro import io as repro_io
 
@@ -388,6 +411,22 @@ def _reconfig_inputs(p: dict):
 
 def _resolve_reconfig(params: dict) -> tuple[str, dict]:
     p = _take(params, _RECONFIG_DEFAULTS, "reconfig")
+    if p["loops"] is not None and p["benchmarks"]:
+        raise ReproError("'reconfig' takes either 'loops' or 'benchmarks'")
+    if p["benchmarks"]:
+        # Keep resolve cheap: key on the programs' content fingerprints,
+        # not on the derived loops (deriving them runs enumeration).
+        p["benchmarks"] = list(_benchmarks(p["benchmarks"], "reconfig"))
+        fp = _joint_fingerprint(_programs(tuple(p["benchmarks"])))
+        key = cache.artifact_key(
+            fp,
+            svc="reconfig",
+            max_versions=p["max_versions"],
+            max_area=p["max_area"],
+            rho=p["rho"],
+            seed=p["seed"],
+        )
+        return key, p
     loops, trace, max_area, rho = _reconfig_inputs(p)
     key = cache.artifact_key(
         cache.hot_loops_digest(loops, trace),

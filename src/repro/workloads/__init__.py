@@ -21,6 +21,12 @@ from repro.workloads.biomonitor import (
 )
 from repro.workloads.jpeg import JPEG_MAX_AREA, JPEG_RHO, jpeg_loops, jpeg_trace
 from repro.workloads.loops import synthetic_loops, synthetic_trace
+from repro.workloads.registry import (
+    clear_registry,
+    register_program,
+    registered_names,
+    unregister_program,
+)
 from repro.workloads.sdr import SDR_MAX_AREA, SDR_MODE_A, SDR_MODE_B, sdr_loops, sdr_trace
 from repro.workloads.tasksets import (
     CH3_TASK_SETS,
@@ -49,6 +55,10 @@ __all__ = [
     "jpeg_trace",
     "synthetic_loops",
     "synthetic_trace",
+    "clear_registry",
+    "register_program",
+    "registered_names",
+    "unregister_program",
     "SDR_MAX_AREA",
     "SDR_MODE_A",
     "SDR_MODE_B",

@@ -98,11 +98,30 @@ def get_spec(name: str) -> ProgramSpec:
         return BENCHMARKS[name]
     except KeyError:
         raise WorkloadError(
-            f"unknown benchmark {name!r}; choose from {benchmark_names()}"
+            f"unknown benchmark {name!r}; choose from {benchmark_names()} "
+            "or pass an ingested workload (a registered name, a "
+            ".json/.dot/.py path, or a name under $REPRO_WORKLOAD_DIR — "
+            "see 'repro ingest')"
         ) from None
 
 
-@lru_cache(maxsize=None)
 def get_program(name: str, salt: int = 0) -> Program:
-    """The deterministic synthetic program for a named benchmark."""
+    """The program for a benchmark name.
+
+    Ingested (real-code) workloads resolve first — in-memory
+    registrations, path-like names and ``$REPRO_WORKLOAD_DIR`` entries
+    (see :mod:`repro.workloads.registry`) — then the deterministic
+    synthetic generator.  ``salt`` only varies synthetic programs; an
+    ingested program is what it is.
+    """
+    from repro.workloads import registry
+
+    program = registry.lookup(name)
+    if program is not None:
+        return program
+    return _synth_cached(name, salt)
+
+
+@lru_cache(maxsize=None)
+def _synth_cached(name: str, salt: int = 0) -> Program:
     return synth_program(get_spec(name), salt=salt)

@@ -179,3 +179,48 @@ class TestPopcountFallback:
         monkeypatch.setattr(npbits, "HAVE_BITWISE_COUNT", False)
         assert (npbits.popcount_rows(rows) == fast_rows).all()
         assert (npbits.popcount_u64(rows) == fast_u64).all()
+
+
+class TestIngestedDifferential:
+    """Engine parity on DFGs built by the real-code front-end.
+
+    Ingested graphs have shapes the synthetic generator never produces
+    (MAC chains, invalid LOAD/STORE/BRANCH region splits, latch CMPs),
+    so they are a distinct corpus for the bitset/array oracles.
+    """
+
+    @pytest.fixture(scope="class")
+    def ingested_blocks(self):
+        from pathlib import Path
+
+        from repro.frontend import ingest_path
+
+        example = Path(__file__).resolve().parent.parent / "examples" / "fir_kernel.py"
+        program = ingest_path(example, function="fir_filter")
+        return [b.dfg for b in program.basic_blocks]
+
+    def test_example_kernel_blocks_bit_identical(
+        self, force_array, ingested_blocks
+    ):
+        assert len(ingested_blocks) >= 3
+        for dfg in ingested_blocks:
+            _assert_trio_identical(
+                dfg, max_inputs=4, max_outputs=2, max_size=6, **NO_BUDGET
+            )
+
+    def test_ingested_source_bit_identical(self, force_array):
+        from repro.frontend import ingest_source
+
+        src = (
+            "def mix(a, b, c, x, i):\n"
+            "    t = a + b * c\n"
+            "    u = x[i] ^ t\n"
+            "    v = min(u, t) + max(a, c)\n"
+            "    w = (v << 2) - (u & 0xFF)\n"
+            "    return w\n"
+        )
+        program = ingest_source(src)
+        for block in program.basic_blocks:
+            _assert_trio_identical(
+                block.dfg, max_inputs=4, max_outputs=2, max_size=6, **NO_BUDGET
+            )

@@ -69,6 +69,63 @@ class TestIo:
             repro_io.hot_loops_from_dict(data)
 
 
+class TestAtomicSave:
+    def test_failed_replace_leaves_original_and_no_litter(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "art.json"
+        repro_io.save_json({"v": 1}, path)
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(repro_io.os, "replace", boom)
+        with pytest.raises(OSError, match="disk full"):
+            repro_io.save_json({"v": 2}, path)
+        monkeypatch.undo()
+        assert json.loads(path.read_text()) == {"v": 1}
+        assert list(tmp_path.iterdir()) == [path]  # no .tmp left behind
+
+    def test_unserializable_payload_never_touches_target(self, tmp_path):
+        path = tmp_path / "art.json"
+        repro_io.save_json({"v": 1}, path)
+        with pytest.raises(TypeError):
+            repro_io.save_json({"v": object()}, path)
+        assert json.loads(path.read_text()) == {"v": 1}
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_kill_during_write_never_corrupts(self, tmp_path):
+        """SIGKILL a writer mid-save; the artifact must stay parseable."""
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        import repro
+
+        src_dir = repro.__file__.rsplit("/repro/", 1)[0]
+        target = tmp_path / "hammer.json"
+        repro_io.save_json({"schema": "x", "blob": "y" * 400_000}, target)
+        script = (
+            f"import sys; sys.path.insert(0, {src_dir!r})\n"
+            "from repro import io\n"
+            "from pathlib import Path\n"
+            f"p = Path({str(target)!r})\n"
+            "data = {'schema': 'x', 'blob': 'z' * 400_000}\n"
+            "while True:\n"
+            "    io.save_json(data, p)\n"
+        )
+        for _ in range(5):
+            proc = subprocess.Popen([sys.executable, "-c", script])
+            time.sleep(0.05)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()
+            data = json.loads(target.read_text())  # never truncated/mixed
+            assert data["blob"][0] == data["blob"][-1]
+        # Stray .tmp files from the killed writer are acceptable litter,
+        # but the target itself must always be one complete payload.
+
+
 class TestReport:
     def test_format_table_alignment(self):
         out = format_table(["name", "value"], [("a", 1.5), ("long-name", 20)])
