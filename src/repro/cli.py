@@ -75,10 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "this directory (overrides $REPRO_CACHE_DIR)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the in-process artifact cache")
-    parser.add_argument("--engine", choices=("bitset", "array", "reference"),
+    parser.add_argument("--engine",
+                        choices=("bitset", "array", "compiled", "auto",
+                                 "reference"),
                         default="bitset",
                         help="candidate-enumeration engine (default bitset; "
                              "array = vectorized frontier batching, "
+                             "compiled = JIT kernels when numba is "
+                             "installed, auto = pick per block; "
                              "bit-identical results)")
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="record a span trace of this run as JSONL")
@@ -172,9 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="utilization target to customize down to "
                              "(default 1.0)")
     p_mlgp.add_argument("--engine", dest="part_engine",
-                        choices=("fast", "array", "reference"), default="fast",
+                        choices=("fast", "array", "compiled", "auto",
+                                 "reference"),
+                        default="fast",
                         help="MLGP engine (bit-identical; default fast; "
-                             "array = batched move scoring)")
+                             "array = batched move scoring, compiled = "
+                             "JIT-kernel scoring when numba is installed, "
+                             "auto = compiled if available else array)")
     p_mlgp.add_argument("--seed", type=int, default=0,
                         help="MLGP seed (default 0)")
     p_mlgp.add_argument("--workers", type=int, default=None,

@@ -52,7 +52,12 @@ import numpy as np
 from repro import npbits
 from repro.graphs.dfg import DataFlowGraph, DFGMasks
 
-__all__ = ["enumerate_array", "ARRAY_MIN_NODES", "ARRAY_MAX_NODES"]
+__all__ = [
+    "enumerate_array",
+    "canonical_candidates",
+    "ARRAY_MIN_NODES",
+    "ARRAY_MAX_NODES",
+]
 
 #: Hybrid dispatch threshold (empirical): below this many DFG nodes the
 #: per-level NumPy call overhead outweighs the batching win and the bitset
@@ -64,14 +69,19 @@ ARRAY_MIN_NODES = 24
 #: Upper hybrid dispatch threshold (empirical): at and above this many DFG
 #: nodes the level frontier's bitset matrices (``n_words`` grows with the
 #: block, the frontier with the budget) outgrow the cache and the batched
-#: walk loses to the bitset DFS — measured crossovers land between 500 and
-#: 1500 ops depending on the host, so very large blocks delegate to the
-#: bitset kernel too and ``engine="array"`` stays within noise of bitset
-#: at every block size (guarded by ``benchmarks/test_scalability.py``).
-#: Real hot blocks are tens to a few hundred ops; blocks this large are
+#: walk loses to the bitset DFS.  The measured wall-clock crossover on the
+#: scalability sweep sits between 2000 and 3000 ops (at 2000 the walk is
+#: at parity in wall time while still ~25% cheaper per candidate; at 3000
+#: it clearly loses both ways), so blocks of 1536+ ops — the next
+#: word-aligned step safely below the parity point — delegate to the
+#: bitset kernel and ``engine="array"`` stays within noise of bitset at
+#: every block size (guarded by ``benchmarks/test_scalability.py``).  The
+#: previous cap of 768 was a dead zone: it delegated 768–1500-op blocks
+#: where the batched walk actually wins 2x+ per candidate.  Real hot
+#: blocks are tens to a few hundred ops; blocks this large are
 #: budget-bound synthetic stress cases where the two engines already
 #: return different (deterministic) candidate sets.
-ARRAY_MAX_NODES = 768
+ARRAY_MAX_NODES = 1536
 
 
 class _ArrayConsts:
@@ -173,6 +183,30 @@ def _output_counts(
     )
     is_out = ext | c.live_flag[members]
     return np.bincount(rows[is_out], minlength=B).astype(np.int64)
+
+
+def canonical_candidates(rows: np.ndarray) -> list[frozenset[int]]:
+    """Dedupe + canonically order a stacked matrix of candidate bitsets.
+
+    Shared finishing pass of the array and compiled engines: unique rows
+    (popped siblings can re-enter via fresh bits, so the walks can
+    revisit a subgraph — the bitset engine carries the same
+    belt-and-braces set), then the engines' canonical order (largest
+    first, lexicographic ids inside a size).  ``set_bits_csr`` emits each
+    row's ids ascending, so the sort key is the extracted segment itself
+    — no per-candidate ``sorted()``.
+    """
+    rows = np.unique(rows, axis=0)
+    ids, _ranks = npbits.set_bits_csr(rows)
+    bounds = np.cumsum(npbits.popcount_rows(rows))
+    ids_list = ids.tolist()
+    items: list[list[int]] = []
+    lo = 0
+    for hi in bounds.tolist():
+        items.append(ids_list[lo:hi])
+        lo = hi
+    items.sort(key=lambda seg: (-len(seg), seg))
+    return [frozenset(seg) for seg in items]
 
 
 def _rows_to_sets(rows: np.ndarray) -> list[frozenset[int]]:
@@ -316,22 +350,7 @@ def enumerate_array(
             )
         if not n_feasible:
             return []
-        # Dedupe (popped siblings can re-enter via fresh bits, so the walk
-        # can revisit a subgraph — the bitset engine carries the same
-        # belt-and-braces set) and order canonically.  ``set_bits_csr``
-        # emits each row's ids ascending, so the canonical sort key is the
-        # extracted segment itself — no per-candidate ``sorted()``.
-        rows = np.unique(np.concatenate(feasible_rows, axis=0), axis=0)
-        ids, _ranks = npbits.set_bits_csr(rows)
-        bounds = np.cumsum(npbits.popcount_rows(rows))
-        ids_list = ids.tolist()
-        items: list[list[int]] = []
-        lo = 0
-        for hi in bounds.tolist():
-            items.append(ids_list[lo:hi])
-            lo = hi
-        items.sort(key=lambda seg: (-len(seg), seg))
-        return [frozenset(seg) for seg in items]
+        return canonical_candidates(np.concatenate(feasible_rows, axis=0))
 
     # --- level 1: one state per root (always within its visit budget) ---
     root_idx = np.arange(R, dtype=np.int64)

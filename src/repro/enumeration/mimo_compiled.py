@@ -1,0 +1,509 @@
+"""Compiled ESU enumeration (``engine="compiled"``).
+
+Re-expresses the array engine's level-synchronous ESU frontier walk
+(:mod:`repro.enumeration.mimo_array`) as one **nopython-style kernel** —
+scalar word loops over the same packed uint64 bitset matrices, no NumPy
+dispatch inside the walk — executed through :mod:`repro.jit`: compiled by
+numba where the toolchain is present, interpreted under
+``REPRO_JIT_INTERP`` (differential testing on toolchain-less hosts), and
+degrading to the array engine otherwise.
+
+Why a third formulation wins: the array engine already removed
+per-candidate Python, but each level still costs a fixed number of NumPy
+kernel launches over frontier-sized matrices, so its per-candidate cost
+flatlines at dispatch overhead on mid-size blocks and the frontier
+matrices fall out of cache on large ones.  The compiled walk touches
+each word exactly when the algorithm needs it — per-candidate cost is a
+handful of word operations with no interpreter in between.
+
+**Equivalence contract** (asserted by
+``tests/test_enumeration_differential.py``): the kernel visits the exact
+tree :func:`repro.enumeration.mimo_array.enumerate_array` walks — the
+same flat state order per level (parents ascending, extension slots
+popped from the end), the same per-root breadth-first visit budgets and
+cap consumption, the same monotone input-prune / feasibility /
+convexity / port-count tests — so candidates *and* all five prune
+counters are bit-identical to the array kernel at **every** budget,
+binding or not; both then equal the bitset DFS whenever budgets and caps
+do not bind.  Because the fallback target is that same array engine, a
+missing toolchain never changes results, only speed — except on blocks
+past the array engine's upper delegation cliff
+(:data:`~repro.enumeration.mimo_array.ARRAY_MAX_NODES`), where the
+compiled walk keeps going level-synchronously while the fallback lands
+on the bitset DFS; under the binding budgets such blocks imply, the two
+(deterministic) candidate sets differ, which is why
+:func:`repro.jit.engine_cache_tag` qualifies ``"compiled"`` artifacts
+by toolchain presence.
+
+The per-level algorithm state mirrors the array engine row for row:
+
+* ``state`` — fused ``(S, 4W)`` accumulator rows
+  ``[sub | pred-union | anc-union | desc-union]``;
+* ``live``/``root`` — live-in operand totals and per-root index rows;
+* the extension CSR with per-slot exclusive prefix-OR masks ("kept
+  siblings"), copied with the kept prefix and extended per fresh bit —
+  never recomputed;
+* per-state ``j``/``w``/parent links for building children CSRs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import jit
+from repro.enumeration import mimo_array
+from repro.graphs.dfg import DataFlowGraph
+
+__all__ = [
+    "enumerate_connected_compiled",
+    "enumerate_compiled",
+    "COMPILED_MIN_NODES",
+]
+
+#: Hybrid dispatch threshold (shared rationale with
+#: :data:`repro.enumeration.mimo_array.ARRAY_MIN_NODES`): below this many
+#: DFG nodes even a compiled walk cannot beat the bitset DFS — the
+#: per-call kernel entry and constant packing dominate graphs this tiny —
+#: so the bitset kernel (bit-identical whenever budgets/caps do not
+#: bind) takes them.  Tests pin it to 0 to drive the kernel on small
+#: graphs.
+COMPILED_MIN_NODES = 24
+
+
+@jit.register_kernel("esu_level_walk")
+def _esu_level_walk(  # noqa: C901 - one fused kernel, nopython-compatible
+    CMB,  # (n, 4W) uint64: [sub-bit | pred | anc | desc] constant rows
+    ADJ,  # (n, W)  uint64: undirected valid adjacency
+    SUCC,  # (n, W) uint64: successor masks
+    EXT,  # (n,)   int64: external (live-in) operand counts
+    LOWM,  # (n, W) uint64: bits strictly below b
+    NEVER,  # (R, W) uint64: per-root never-absorbable producers
+    ABOVE,  # (R, W) uint64: per-root ids strictly above the root
+    LIVE,  # (n,)  uint8: live-out flags
+    ROOTS,  # (R,)  int64: valid node ids, ascending
+    max_inputs,
+    max_outputs,
+    max_size,
+    min_size,
+    max_candidates,
+    per_root_budget,
+    per_root_cap,
+):
+    """Level-synchronous ESU walk; returns (feasible rows, counters).
+
+    Counters: ``[visited, feasible, pruned_visit_budget, pruned_inputs,
+    pruned_outputs]`` — same five the bitset/array engines report.
+    """
+    W = ADJ.shape[1]
+    W2 = 2 * W
+    W3 = 3 * W
+    W4 = 4 * W
+    R = ROOTS.shape[0]
+
+    def popcnt(x):
+        # SWAR popcount without the multiply fold (no uint64 overflow, so
+        # the interpreted tier stays silent under NumPy's overflow
+        # warnings; byte sums stay < 2**7 per lane).
+        x = x - ((x >> 1) & 0x5555555555555555)
+        x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+        x = (x + (x >> 4)) & 0x0F0F0F0F0F0F0F0F
+        x = x + (x >> 8)
+        x = x + (x >> 16)
+        x = x + (x >> 32)
+        return np.int64(x & 0x7F)
+
+    all_visited = 0
+    n_feas = 0
+    cut_budget = 0
+    cut_inputs = 0
+    cut_outputs = 0
+
+    visited_per_root = np.zeros(R, dtype=np.int64)
+    found_per_root = np.zeros(R, dtype=np.int64)
+    alive_root = np.ones(R, dtype=np.uint8)
+
+    feas_cap = 256
+    feas = np.empty((feas_cap, W), dtype=np.uint64)
+
+    # --- level 1: one state per root (always within its visit budget) ---
+    S = R
+    state = np.empty((S, W4), dtype=np.uint64)
+    live = np.empty(S, dtype=np.int64)
+    root = np.empty(S, dtype=np.int64)
+    # Popped-slot bookkeeping for levels >= 2 (unused at level 1).
+    stj = np.zeros(S, dtype=np.int64)
+    stw = np.zeros(S, dtype=np.int64)
+    stpar = np.zeros(S, dtype=np.int64)
+    pkeep = np.zeros((S, W), dtype=np.uint64)
+    for i in range(R):
+        v = ROOTS[i]
+        for t in range(W4):
+            state[i, t] = CMB[v, t]
+        live[i] = EXT[v]
+        root[i] = i
+        visited_per_root[i] = 1
+    all_visited += R
+    size = 1
+
+    # Previous level's extension CSR (kept-prefix source for children).
+    prev_csr = np.zeros((0, 1 + W), dtype=np.uint64)
+    prev_off = np.zeros(1, dtype=np.int64)
+
+    while True:
+        # --- score the level's states in flat order (prune_and_score) ---
+        pruned = np.zeros(S, dtype=np.uint8)
+        for s in range(S):
+            r = root[s]
+            # Monotone input prune: producers that can never be absorbed
+            # (invalid / below the root) plus live-in operands.
+            nc = 0
+            for t in range(W):
+                ep = state[s, W + t] & ~state[s, t]
+                nc += popcnt(ep & NEVER[r, t])
+            if nc + live[s] > max_inputs:
+                pruned[s] = 1
+                cut_inputs += 1
+                continue
+            if size < min_size:
+                continue
+            # Input-port count over all external producers.
+            ic = 0
+            for t in range(W):
+                ic += popcnt(state[s, W + t] & ~state[s, t])
+            if ic + live[s] > max_inputs:
+                continue
+            # Convexity: no outside node both ancestor and descendant.
+            convex = True
+            for t in range(W):
+                if (state[s, W2 + t] & state[s, W3 + t] & ~state[s, t]) != 0:
+                    convex = False
+                    break
+            if not convex:
+                continue
+            # Output-port count: members live-out or externally consumed.
+            outs = 0
+            for t in range(W):
+                word = state[s, t]
+                while word != 0:
+                    low = word & (~word + 1)
+                    word = word ^ low
+                    b = popcnt(low - 1) + (t << 6)
+                    if LIVE[b] != 0:
+                        outs += 1
+                    else:
+                        for q in range(W):
+                            if (SUCC[b, q] & ~state[s, q]) != 0:
+                                outs += 1
+                                break
+                    if outs > max_outputs:
+                        break
+                if outs > max_outputs:
+                    break
+            if outs > max_outputs:
+                cut_outputs += 1
+                continue
+            # Feasible candidate: caps consume the level in flat order.
+            if alive_root[r] == 0:
+                continue
+            if n_feas == feas_cap:
+                bigger = np.empty((2 * feas_cap, W), dtype=np.uint64)
+                bigger[:feas_cap] = feas
+                feas = bigger
+                feas_cap = 2 * feas_cap
+            for t in range(W):
+                feas[n_feas, t] = state[s, t]
+            n_feas += 1
+            found_per_root[r] += 1
+            if found_per_root[r] >= per_root_cap:
+                alive_root[r] = 0
+            if n_feas >= max_candidates:
+                for q in range(R):
+                    alive_root[q] = 0
+
+        if size >= max_size:
+            break
+        any_alive = False
+        for q in range(R):
+            if alive_root[q] != 0:
+                any_alive = True
+                break
+        if not any_alive:
+            break
+
+        # --- survivors only: filter before the extension CSR is built ---
+        n_surv = 0
+        for s in range(S):
+            if pruned[s] == 0 and alive_root[root[s]] != 0:
+                n_surv += 1
+        if n_surv == 0:
+            break
+        surv = np.empty(n_surv, dtype=np.int64)
+        k = 0
+        for s in range(S):
+            if pruned[s] == 0 and alive_root[root[s]] != 0:
+                surv[k] = s
+                k += 1
+
+        # Fresh extension bits + new lengths per survivor; drop dead ends
+        # (empty extension lists cannot expand).
+        fresh = np.empty((n_surv, W), dtype=np.uint64)
+        new_len = np.empty(n_surv, dtype=np.int64)
+        for k in range(n_surv):
+            s = surv[k]
+            r = root[s]
+            if size == 1:
+                # Root extension list: neighbours above the root.
+                cnt = 0
+                for t in range(W):
+                    f = ADJ[ROOTS[r], t] & ABOVE[r, t]
+                    fresh[k, t] = f
+                    cnt += popcnt(f)
+                new_len[k] = cnt
+            else:
+                w = stw[s]
+                cnt = 0
+                for t in range(W):
+                    f = ADJ[w, t] & ABOVE[r, t] & ~(state[s, t] | pkeep[s, t])
+                    fresh[k, t] = f
+                    cnt += popcnt(f)
+                new_len[k] = stj[s] + cnt
+        n_keep = 0
+        for k in range(n_surv):
+            if new_len[k] > 0:
+                n_keep += 1
+        if n_keep == 0:
+            break
+        if n_keep < n_surv:
+            keep = np.empty(n_keep, dtype=np.int64)
+            i = 0
+            for k in range(n_surv):
+                if new_len[k] > 0:
+                    keep[i] = k
+                    i += 1
+        else:
+            keep = np.arange(n_surv)
+
+        # --- child extension CSR: kept prefix slots, then fresh ids ---
+        off = np.empty(n_keep + 1, dtype=np.int64)
+        off[0] = 0
+        for i in range(n_keep):
+            off[i + 1] = off[i] + new_len[keep[i]]
+        E = off[n_keep]
+        csr = np.empty((E, 1 + W), dtype=np.uint64)
+        for i in range(n_keep):
+            k = keep[i]
+            s = surv[k]
+            base = off[i]
+            if size == 1:
+                pos = 0
+            else:
+                # Kept prefix: the parent's first j slots, verbatim.
+                j = stj[s]
+                poff = prev_off[stpar[s]]
+                for q in range(j):
+                    for t in range(1 + W):
+                        csr[base + q, t] = prev_csr[poff + q, t]
+                pos = j
+            # Fresh slots ascending; masks extend the kept prefix with
+            # the fresh bits before each id.
+            for t in range(W):
+                word = fresh[k, t]
+                while word != 0:
+                    low = word & (~word + 1)
+                    word = word ^ low
+                    b = popcnt(low - 1) + (t << 6)
+                    csr[base + pos, 0] = np.uint64(b)
+                    for t2 in range(W):
+                        csr[base + pos, 1 + t2] = pkeep[s, t2] | (
+                            fresh[k, t2] & LOWM[b, t2]
+                        )
+                    pos += 1
+
+        # --- expansion: per-root visit-budget admission in flat child
+        # order (states ascending, slots popped from the end), then
+        # materialize the admitted children as the next level. ---
+        n_children = 0
+        for i in range(n_keep):
+            n_children += off[i + 1] - off[i]
+        max_seen = 0
+        for q in range(R):
+            if visited_per_root[q] > max_seen:
+                max_seen = visited_per_root[q]
+        fast_admit = max_seen + n_children <= per_root_budget
+
+        new_state = np.empty((n_children, W4), dtype=np.uint64)
+        new_live = np.empty(n_children, dtype=np.int64)
+        new_root = np.empty(n_children, dtype=np.int64)
+        new_stj = np.empty(n_children, dtype=np.int64)
+        new_stw = np.empty(n_children, dtype=np.int64)
+        new_stpar = np.empty(n_children, dtype=np.int64)
+        new_pkeep = np.empty((n_children, W), dtype=np.uint64)
+        n_admit = 0
+        for i in range(n_keep):
+            s = surv[keep[i]]
+            r = root[s]
+            length = off[i + 1] - off[i]
+            for j in range(length - 1, -1, -1):
+                if fast_admit:
+                    visited_per_root[r] += 1
+                    all_visited += 1
+                else:
+                    vnum = visited_per_root[r] + 1
+                    if vnum <= per_root_budget:
+                        visited_per_root[r] = vnum
+                        all_visited += 1
+                    elif vnum == per_root_budget + 1:
+                        visited_per_root[r] = vnum
+                        all_visited += 1
+                        cut_budget += 1
+                        alive_root[r] = 0
+                        continue
+                    else:
+                        continue
+                slot = off[i] + j
+                w = np.int64(csr[slot, 0])
+                c = n_admit
+                for t in range(W4):
+                    new_state[c, t] = state[s, t] | CMB[w, t]
+                new_live[c] = live[s] + EXT[w]
+                new_root[c] = r
+                new_stj[c] = j
+                new_stw[c] = w
+                new_stpar[c] = i
+                for t in range(W):
+                    new_pkeep[c, t] = csr[slot, 1 + t]
+                n_admit += 1
+        if n_admit == 0:
+            break
+
+        state = new_state[:n_admit]
+        live = new_live[:n_admit]
+        root = new_root[:n_admit]
+        stj = new_stj[:n_admit]
+        stw = new_stw[:n_admit]
+        stpar = new_stpar[:n_admit]
+        pkeep = new_pkeep[:n_admit]
+        S = n_admit
+        prev_csr = csr
+        prev_off = off
+        size += 1
+
+    counters = np.empty(5, dtype=np.int64)
+    counters[0] = all_visited
+    counters[1] = n_feas
+    counters[2] = cut_budget
+    counters[3] = cut_inputs
+    counters[4] = cut_outputs
+    return feas[:n_feas].copy(), counters
+
+
+def _live8(c: "mimo_array._ArrayConsts") -> np.ndarray:
+    flags = getattr(c, "_live8", None)
+    if flags is None:
+        flags = c.live_flag.astype(np.uint8)
+        c._live8 = flags
+    return flags
+
+
+def enumerate_compiled(
+    dfg: DataFlowGraph,
+    max_inputs: int,
+    max_outputs: int,
+    max_size: int,
+    max_candidates: int,
+    min_size: int,
+    max_visited: int | None,
+    stats: dict | None = None,
+) -> list[frozenset[int]]:
+    """Run the compiled level walk on *dfg* (toolchain must be up)."""
+    kern = jit.get_kernel("esu_level_walk")
+    if kern is None:  # pragma: no cover - callers gate on jit.available()
+        raise RuntimeError("no JIT toolchain; use enumerate_connected_compiled")
+    c = mimo_array._get_consts(dfg)
+    R = c.roots.shape[0]
+    if R == 0:
+        return []
+    total_budget = (
+        max_visited if max_visited is not None else 25 * max_candidates
+    )
+    per_root_budget = max(200, total_budget // R)
+    per_root_cap = max(20, max_candidates // R)
+    feas, counters = kern(
+        c.CMB,
+        c.ADJ,
+        c.SUCC,
+        c.EXT,
+        c.LOWM,
+        c.NEVER,
+        c.ABOVE,
+        _live8(c),
+        c.roots,
+        max_inputs,
+        max_outputs,
+        max_size,
+        min_size,
+        max_candidates,
+        per_root_budget,
+        per_root_cap,
+    )
+    if stats is not None:
+        stats["visited"] = stats.get("visited", 0) + int(counters[0])
+        stats["feasible"] = stats.get("feasible", 0) + int(counters[1])
+        stats["pruned_visit_budget"] = (
+            stats.get("pruned_visit_budget", 0) + int(counters[2])
+        )
+        stats["pruned_inputs"] = (
+            stats.get("pruned_inputs", 0) + int(counters[3])
+        )
+        stats["pruned_outputs"] = (
+            stats.get("pruned_outputs", 0) + int(counters[4])
+        )
+    if feas.shape[0] == 0:
+        return []
+    return mimo_array.canonical_candidates(feas)
+
+
+def enumerate_connected_compiled(
+    dfg: DataFlowGraph,
+    max_inputs: int,
+    max_outputs: int,
+    max_size: int,
+    max_candidates: int,
+    min_size: int,
+    max_visited: int | None,
+    stats: dict | None = None,
+) -> list[frozenset[int]]:
+    """``engine="compiled"`` entry point with the fallback ladder.
+
+    No toolchain (numba absent or ``REPRO_NO_NUMBA`` set) → degrade to
+    ``engine="array"`` (bit-identical by contract) with a one-shot
+    warning plus ``jit.fallback`` counters.  Tiny blocks delegate to the
+    bitset DFS exactly like the array engine's lower cliff.  Unlike the
+    array engine there is no upper cliff: the compiled walk's
+    per-candidate cost keeps falling where the NumPy frontier outgrows
+    the cache, so large budget-bound blocks stay on the kernel.
+    """
+    from repro.enumeration import mimo
+
+    if not jit.available():
+        jit.note_fallback("enumeration")
+        return mimo.enumerate_connected(
+            dfg,
+            max_inputs,
+            max_outputs,
+            max_size=max_size,
+            max_candidates=max_candidates,
+            min_size=min_size,
+            max_visited=max_visited,
+            engine="array",
+            stats=stats,
+        )
+    if len(dfg) < COMPILED_MIN_NODES:
+        return mimo._enumerate_bitset(
+            dfg, max_inputs, max_outputs, max_size, max_candidates,
+            min_size, max_visited, stats,
+        )
+    return enumerate_compiled(
+        dfg, max_inputs, max_outputs, max_size, max_candidates,
+        min_size, max_visited, stats,
+    )

@@ -1,0 +1,203 @@
+"""Compiled MLGP move evaluation (``engine="compiled"``).
+
+Rides on the bitset fast path exactly like :mod:`repro.mlgp.mlgp_array`
+— same refinement loop, RNG stream, tie-breaks and float arithmetic —
+but the pass-start batch scoring of source-remainder masks runs as a
+**nopython-style kernel** (:mod:`repro.jit`): one scalar word loop per
+mask instead of the array engine's gather/reduceat cascade.  The
+verdicts land in the same feasibility/I/O memo tables, are
+integer-exact, and are keyed by mask, so results stay bit-identical to
+the fast/array/reference engines (the partitioning differential suite
+asserts it).
+
+Fallback ladder: no toolchain → the array prefill (bit-identical);
+non-default cost models delegate to the fast engine wholesale for the
+same evaluation-order reason documented in ``mlgp_array``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro import jit, npbits
+from repro.graphs.dfg import DataFlowGraph
+from repro.isa.costmodel import HardwareCostModel
+from repro.mlgp.mlgp_array import _BatchEval, _get_batch
+from repro.mlgp.mlgp_fast import _run_bitset_mlgp, run_fast_mlgp
+
+__all__ = ["run_compiled_mlgp", "COMPILED_MIN_BATCH"]
+
+#: Batch-size threshold for the compiled prefill.  Lower than the array
+#: engine's :data:`ARRAY_MIN_BATCH`: the kernel has no NumPy dispatch
+#: overhead to amortize, only the pack/unpack of the mask batch.  Tests
+#: pin it to 0 to force the kernel on small workloads.
+COMPILED_MIN_BATCH = 8
+
+
+@jit.register_kernel("mlgp_feasibility")
+def _feasibility_kernel(
+    ROWS,  # (B, W) uint64: the masks to score
+    PRED,  # (n, W) uint64 per-node constant rows
+    SUCC,  # (n, W)
+    ANC,  # (n, W)
+    DESC,  # (n, W)
+    EXT,  # (n,) int64: external (live-in) operand counts
+    LIVE,  # (n,) uint8: live-out flags
+    INVALID,  # (W,) uint64: invalid-node row
+    max_inputs,
+    max_outputs,
+):
+    """Batched ``_Ctx.feasible``/``_Ctx.io``: (feasible, inputs, outputs)."""
+    B = ROWS.shape[0]
+    W = ROWS.shape[1]
+
+    def popcnt(x):
+        x = x - ((x >> 1) & 0x5555555555555555)
+        x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+        x = (x + (x >> 4)) & 0x0F0F0F0F0F0F0F0F
+        x = x + (x >> 8)
+        x = x + (x >> 16)
+        x = x + (x >> 32)
+        return np.int64(x & 0x7F)
+
+    feas = np.zeros(B, dtype=np.uint8)
+    ins = np.zeros(B, dtype=np.int64)
+    outs = np.zeros(B, dtype=np.int64)
+    predu = np.zeros(W, dtype=np.uint64)
+    ancu = np.zeros(W, dtype=np.uint64)
+    descu = np.zeros(W, dtype=np.uint64)
+    for i in range(B):
+        for t in range(W):
+            predu[t] = 0
+            ancu[t] = 0
+            descu[t] = 0
+        ext_sum = 0
+        n_out = 0
+        overlap_invalid = False
+        for t in range(W):
+            if (ROWS[i, t] & INVALID[t]) != 0:
+                overlap_invalid = True
+            word = ROWS[i, t]
+            while word != 0:
+                low = word & (~word + 1)
+                word = word ^ low
+                b = popcnt(low - 1) + (t << 6)
+                for q in range(W):
+                    predu[q] |= PRED[b, q]
+                    ancu[q] |= ANC[b, q]
+                    descu[q] |= DESC[b, q]
+                ext_sum += EXT[b]
+                if LIVE[b] != 0:
+                    n_out += 1
+                else:
+                    for q in range(W):
+                        if (SUCC[b, q] & ~ROWS[i, q]) != 0:
+                            n_out += 1
+                            break
+        n_in = ext_sum
+        convex = True
+        for t in range(W):
+            n_in += popcnt(predu[t] & ~ROWS[i, t])
+            if (ancu[t] & descu[t] & ~ROWS[i, t]) != 0:
+                convex = False
+        ins[i] = n_in
+        outs[i] = n_out
+        if (
+            n_in <= max_inputs
+            and n_out <= max_outputs
+            and convex
+            and not overlap_invalid
+        ):
+            feas[i] = 1
+    return feas, ins, outs
+
+
+def _batch_live8(batch: _BatchEval) -> np.ndarray:
+    flags = getattr(batch, "_live8", None)
+    if flags is None:
+        flags = batch.live_flag.astype(np.uint8)
+        batch._live8 = flags
+    return flags
+
+
+def _prefill(state) -> None:
+    """Kernel-backed variant of :func:`repro.mlgp.mlgp_array._prefill`.
+
+    Same memo-table contract: one from-scratch source-remainder mask per
+    boundary vertex, scored in a single kernel call; no RNG is consumed
+    and the tables are keyed by mask, so fill order cannot influence
+    results.
+    """
+    ctx = state.ctx
+    assign = state.assign
+    vertices = state.level.vertices
+    part_mask = state.part_mask
+    feas_memo = ctx._feas_memo
+    io_memo = ctx._io_memo
+
+    todo: set[int] = set()
+    for v, f in enumerate(state.foreign):
+        if f <= 0:
+            continue
+        rest = part_mask[assign[v]] & ~vertices[v]
+        if rest and rest not in feas_memo:
+            todo.add(rest)
+    if not todo or len(todo) < COMPILED_MIN_BATCH:
+        return
+    kern = jit.get_kernel("mlgp_feasibility")
+    rest_todo = sorted(todo)
+    batch = _get_batch(ctx)
+    rows = npbits.pack_masks(rest_todo, batch.W)
+    feas_r, in_r, out_r = kern(
+        rows,
+        batch.PRED,
+        batch.SUCC,
+        batch.ANC,
+        batch.DESC,
+        batch.EXT,
+        _batch_live8(batch),
+        batch.invalid_row,
+        ctx.max_inputs,
+        ctx.max_outputs,
+    )
+    for i, m in enumerate(rest_todo):
+        feas_memo[m] = bool(feas_r[i])
+        io_memo[m] = (int(in_r[i]), int(out_r[i]))
+
+
+def run_compiled_mlgp(
+    dfg: DataFlowGraph,
+    region: Sequence[int],
+    max_inputs: int,
+    max_outputs: int,
+    model: HardwareCostModel,
+    seed: int,
+    refine_passes: int,
+) -> tuple[
+    tuple[tuple[frozenset[int], ...], tuple[float, ...], tuple[float, ...]],
+    dict[str, int],
+]:
+    """Run the compiled MLGP engine on one region (see module docstring)."""
+    if not jit.available():
+        jit.note_fallback("mlgp")
+        from repro.mlgp.mlgp_array import run_array_mlgp
+
+        return run_array_mlgp(
+            dfg, region, max_inputs, max_outputs, model, seed, refine_passes
+        )
+    if type(model) is not HardwareCostModel:
+        return run_fast_mlgp(
+            dfg, region, max_inputs, max_outputs, model, seed, refine_passes
+        )
+    return _run_bitset_mlgp(
+        dfg,
+        region,
+        max_inputs,
+        max_outputs,
+        model,
+        seed,
+        refine_passes,
+        prefill=_prefill,
+    )

@@ -161,6 +161,30 @@ def _joint_fingerprint(programs) -> str:
     return "+".join(cache.program_fingerprint(p) for p in programs)
 
 
+_ENUM_ENGINES = ("bitset", "array", "compiled", "auto", "reference")
+_MLGP_ENGINES = ("fast", "array", "compiled", "auto", "reference")
+
+
+def _engine_key(p: dict, kind: str, engines: tuple[str, ...]) -> str:
+    """Validate the engine param and return its cache-key tag.
+
+    ``"auto"`` and ``"compiled"`` resolve per the host's JIT toolchain,
+    so their artifact keys carry the toolchain qualifier
+    (:func:`repro.jit.engine_cache_tag`) — two hosts that would compute
+    different (deterministic) results under binding budgets must not
+    dedupe against each other through a shared journal or cache.
+    """
+    engine = p["engine"]
+    if engine not in engines:
+        raise ReproError(
+            f"unknown {kind!r} engine {engine!r}; "
+            f"use one of {', '.join(engines)}"
+        )
+    from repro import jit
+
+    return jit.engine_cache_tag(engine)
+
+
 # ----------------------------------------------------------------------
 # identify — candidate library for one benchmark program
 # ----------------------------------------------------------------------
@@ -188,7 +212,7 @@ def _resolve_identify(params: dict) -> tuple[str, dict]:
         svc="identify",
         max_inputs=p["max_inputs"],
         max_outputs=p["max_outputs"],
-        engine=p["engine"],
+        engine=_engine_key(p, "identify", _ENUM_ENGINES),
     )
     return key, p
 
@@ -233,7 +257,10 @@ def _resolve_curve(params: dict) -> tuple[str, dict]:
 
     fp = cache.program_fingerprint(get_program(p["benchmark"]))
     key = cache.artifact_key(
-        fp, svc="curve", objective=p["objective"], engine=p["engine"]
+        fp,
+        svc="curve",
+        objective=p["objective"],
+        engine=_engine_key(p, "curve", _ENUM_ENGINES),
     )
     return key, p
 
@@ -276,7 +303,7 @@ def _resolve_pareto(params: dict) -> tuple[str, dict]:
         svc="pareto",
         eps=p["eps"],
         utilization=p["utilization"],
-        engine=p["engine"],
+        engine=_engine_key(p, "pareto", _ENUM_ENGINES),
     )
     return key, p
 
@@ -322,6 +349,11 @@ _MLGP_DEFAULTS: dict[str, Any] = {
 
 def _resolve_mlgp(params: dict) -> tuple[str, dict]:
     p = _take(params, _MLGP_DEFAULTS, "mlgp")
+    # Validated but NOT folded into the key: the MLGP engine family is
+    # bit-identical (including "compiled"/"auto", whose batch verdicts
+    # land in the same mask-keyed memo tables), so any engine's result
+    # deduplicates against every other's.
+    _engine_key(p, "mlgp", _MLGP_ENGINES)
     p["benchmarks"] = list(_benchmarks(p["benchmarks"], "mlgp"))
     fp = _joint_fingerprint(_programs(tuple(p["benchmarks"])))
     key = cache.artifact_key(

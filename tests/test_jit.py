@@ -1,0 +1,203 @@
+"""Tests for the JIT toolchain gateway (:mod:`repro.jit`).
+
+Covers the probe precedence (``REPRO_NO_NUMBA`` kill switch beats
+everything, ``REPRO_JIT_INTERP`` only applies when numba is absent), the
+warm-vs-cold kernel build memoization, the compiled→array fallback
+ladder (one-shot warning + counters, bit-identical results) and the
+toolchain-qualified engine cache tags.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import jit, obs
+from repro.enumeration import enumerate_connected
+from repro.enumeration import mimo_array, mimo_compiled
+from tests.conftest import random_small_dfg
+
+
+@pytest.fixture(autouse=True)
+def _reprobe_after(monkeypatch):
+    """Every test here flips env knobs; re-probe the real env afterwards."""
+    yield
+    monkeypatch.undo()
+    jit.reset_toolchain_cache()
+
+
+class TestToolchainProbe:
+    def test_kill_switch_dominates(self, monkeypatch):
+        monkeypatch.setenv(jit.ENV_NO_NUMBA, "1")
+        monkeypatch.setenv(jit.ENV_FORCE_INTERP, "1")
+        jit.reset_toolchain_cache()
+        assert jit.toolchain() == "none"
+        assert not jit.available()
+
+    def test_force_interp_when_no_numba_installed(self, monkeypatch):
+        tier = jit.force_interp_for_tests(monkeypatch)
+        # With numba importable the real tier wins; otherwise interp.
+        assert tier in ("numba", "interp")
+        assert jit.available()
+
+    def test_bare_environment_tiers(self, monkeypatch):
+        monkeypatch.delenv(jit.ENV_NO_NUMBA, raising=False)
+        monkeypatch.delenv(jit.ENV_FORCE_INTERP, raising=False)
+        jit.reset_toolchain_cache()
+        assert jit.toolchain() in ("numba", "none")
+
+    def test_probe_is_cached_until_reset(self, monkeypatch):
+        jit.force_interp_for_tests(monkeypatch)
+        first = jit.toolchain()
+        monkeypatch.setenv(jit.ENV_NO_NUMBA, "1")
+        assert jit.toolchain() == first  # cached
+        jit.reset_toolchain_cache()
+        assert jit.toolchain() == "none"
+
+
+class TestKernelBuilds:
+    def test_warm_call_skips_compilation(self, monkeypatch):
+        """The second ``get_kernel`` call must return the memoized callable
+        without rebuilding (with numba that means no LLVM recompile)."""
+        jit.force_interp_for_tests(monkeypatch)
+        cold_builds = jit.kernel_build_count()
+        k1 = jit.get_kernel("esu_level_walk")
+        assert k1 is not None
+        assert jit.kernel_build_count() == cold_builds + 1
+        k2 = jit.get_kernel("esu_level_walk")
+        assert k2 is k1
+        assert jit.kernel_build_count() == cold_builds + 1
+
+    def test_no_toolchain_yields_no_kernel(self, monkeypatch):
+        monkeypatch.setenv(jit.ENV_NO_NUMBA, "1")
+        jit.reset_toolchain_cache()
+        assert jit.get_kernel("esu_level_walk") is None
+
+    def test_reset_drops_built_kernels(self, monkeypatch):
+        jit.force_interp_for_tests(monkeypatch)
+        before = jit.kernel_build_count()
+        jit.get_kernel("mlgp_feasibility")
+        assert jit.kernel_build_count() == before + 1
+        jit.reset_toolchain_cache()
+        jit.get_kernel("mlgp_feasibility")
+        assert jit.kernel_build_count() == before + 2
+
+
+class TestKillSwitchFallback:
+    def test_compiled_engine_degrades_to_array(self, monkeypatch):
+        """`REPRO_NO_NUMBA=1` + engine="compiled": identical results to the
+        array engine, a one-shot RuntimeWarning, and fallback counters
+        counting every occurrence."""
+        monkeypatch.setenv(jit.ENV_NO_NUMBA, "1")
+        jit.reset_toolchain_cache()
+        obs.reset()
+        dfg = random_small_dfg(5, n=30)
+        assert len(dfg) >= mimo_compiled.COMPILED_MIN_NODES
+        kw = dict(max_inputs=4, max_outputs=2, max_size=6)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            out = enumerate_connected(dfg, engine="compiled", **kw)
+            assert [
+                w for w in caught if issubclass(w.category, RuntimeWarning)
+            ], "fallback must warn"
+        assert out == enumerate_connected(dfg, engine="array", **kw)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            enumerate_connected(dfg, engine="compiled", **kw)
+            assert not [
+                w for w in caught if issubclass(w.category, RuntimeWarning)
+            ], "warning must be one-shot per epoch"
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters["jit.fallback"] == 2
+        assert counters["jit.fallback.enumeration"] == 2
+
+    def test_mlgp_compiled_degrades_to_array(self, monkeypatch):
+        from repro.mlgp.mlgp import mlgp_partition
+
+        monkeypatch.setenv(jit.ENV_NO_NUMBA, "1")
+        jit.reset_toolchain_cache()
+        obs.reset()
+        dfg = random_small_dfg(6, n=18)
+        region = max(dfg.regions(), key=len)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            comp = mlgp_partition(
+                dfg, region, seed=2, engine="compiled", use_cache=False
+            )
+        arr = mlgp_partition(
+            dfg, region, seed=2, engine="array", use_cache=False
+        )
+        assert (comp.partitions, comp.gains, comp.areas) == (
+            arr.partitions,
+            arr.gains,
+            arr.areas,
+        )
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters["jit.fallback.mlgp"] >= 1
+
+
+class TestEngineCacheTags:
+    def test_fixed_engines_key_as_themselves(self):
+        for eng in ("bitset", "array", "reference", "fast"):
+            assert jit.engine_cache_tag(eng) == eng
+
+    def test_tags_without_toolchain(self, monkeypatch):
+        monkeypatch.setenv(jit.ENV_NO_NUMBA, "1")
+        jit.reset_toolchain_cache()
+        assert jit.engine_cache_tag("auto") == "auto+cpu"
+        assert jit.engine_cache_tag("compiled") == "compiled+cpu"
+
+    def test_tags_under_interp(self, monkeypatch):
+        tier = jit.force_interp_for_tests(monkeypatch)
+        if tier != "interp":
+            pytest.skip("numba installed; interp tier not reachable")
+        # interp runs the kernels (compiled results) but is never picked
+        # by auto (auto resolves to array/bitset, the cpu class).
+        assert jit.engine_cache_tag("auto") == "auto+cpu"
+        assert jit.engine_cache_tag("compiled") == "compiled+jit"
+
+    def test_tags_under_numba(self, monkeypatch):
+        monkeypatch.setattr(jit, "_toolchain", "numba")
+        assert jit.engine_cache_tag("auto") == "auto+jit"
+        assert jit.engine_cache_tag("compiled") == "compiled+jit"
+
+
+class TestAutoDispatch:
+    def test_boundaries_without_toolchain(self, monkeypatch):
+        from repro.enumeration import resolve_auto_engine
+
+        monkeypatch.setenv(jit.ENV_NO_NUMBA, "1")
+        jit.reset_toolchain_cache()
+        lo = mimo_array.ARRAY_MIN_NODES
+        hi = mimo_array.ARRAY_MAX_NODES
+        assert resolve_auto_engine(lo - 1) == "bitset"
+        assert resolve_auto_engine(lo) == "array"
+        assert resolve_auto_engine(hi - 1) == "array"
+        assert resolve_auto_engine(hi) == "bitset"
+
+    def test_interp_is_never_auto_selected(self, monkeypatch):
+        from repro.enumeration import resolve_auto_engine
+
+        tier = jit.force_interp_for_tests(monkeypatch)
+        if tier != "interp":
+            pytest.skip("numba installed; interp tier not reachable")
+        assert resolve_auto_engine(100) == "array"
+
+    def test_numba_toolchain_selects_compiled(self, monkeypatch):
+        from repro.enumeration import resolve_auto_engine
+
+        monkeypatch.setattr(jit, "_toolchain", "numba")
+        lo = mimo_compiled.COMPILED_MIN_NODES
+        assert resolve_auto_engine(lo - 1) == "bitset"
+        assert resolve_auto_engine(lo) == "compiled"
+        # No upper cliff for the compiled walk.
+        assert resolve_auto_engine(10 * mimo_array.ARRAY_MAX_NODES) == "compiled"
+
+    def test_auto_engine_end_to_end(self, monkeypatch):
+        """engine="auto" must produce the same candidates as the engine it
+        resolves to (trivially bit-identical here: budgets don't bind)."""
+        dfg = random_small_dfg(4, n=30)
+        kw = dict(max_inputs=4, max_outputs=2, max_size=6)
+        auto = enumerate_connected(dfg, engine="auto", **kw)
+        assert auto == enumerate_connected(dfg, engine="array", **kw)

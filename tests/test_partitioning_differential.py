@@ -14,7 +14,7 @@ import random
 
 import pytest
 
-from repro import cache, obs
+from repro import cache, jit, obs
 from repro.mlgp.mlgp import mlgp_partition
 from repro.mtreconfig.dp import dp_solution
 from repro.mtreconfig.model import ReconfigTask, TaskVersion
@@ -26,52 +26,74 @@ from repro.workloads import get_program
 from tests.conftest import random_small_dfg
 
 
-def _mlgp_trio(dfg, region, seed, **kw):
-    """(reference, fast, array) results for one region under one seed."""
+def _mlgp_quartet(dfg, region, seed, **kw):
+    """(reference, fast, array, compiled) results for one region/seed."""
     return tuple(
         mlgp_partition(
             dfg, region, seed=seed, engine=eng, use_cache=False, **kw
         )
-        for eng in ("reference", "fast", "array")
+        for eng in ("reference", "fast", "array", "compiled")
     )
+
+
+@pytest.fixture
+def force_compiled_mlgp(monkeypatch):
+    """Run the compiled MLGP kernel for real: interpreted tier when numba
+    is absent, batch threshold pinned so even tiny passes hit it."""
+    from repro.mlgp import mlgp_compiled
+
+    monkeypatch.setattr(mlgp_compiled, "COMPILED_MIN_BATCH", 0)
+    jit.force_interp_for_tests(monkeypatch)
+    yield
+    monkeypatch.undo()
+    jit.reset_toolchain_cache()
 
 
 class TestMlgpDifferential:
     @pytest.mark.parametrize("seed", range(10))
     @pytest.mark.parametrize("n", (10, 18))
-    def test_random_dfgs_bit_identical(self, seed, n):
-        """20 seeded random workloads: fast == array == reference, bitwise."""
+    def test_random_dfgs_bit_identical(self, force_compiled_mlgp, seed, n):
+        """20 seeded random workloads: fast == array == compiled ==
+        reference, bitwise."""
         dfg = random_small_dfg(seed, n=n)
         for region in dfg.regions():
             if len(region) < 2:
                 continue
-            ref, fast, arr = _mlgp_trio(dfg, region, seed)
-            assert ref.partitions == fast.partitions == arr.partitions
-            assert ref.gains == fast.gains == arr.gains
-            assert ref.areas == fast.areas == arr.areas
+            ref, fast, arr, comp = _mlgp_quartet(dfg, region, seed)
+            assert (
+                ref.partitions == fast.partitions == arr.partitions
+                == comp.partitions
+            )
+            assert ref.gains == fast.gains == arr.gains == comp.gains
+            assert ref.areas == fast.areas == arr.areas == comp.areas
 
     @pytest.mark.parametrize("name", ("sha", "adpcm"))
-    def test_benchmark_regions_bit_identical(self, name):
+    def test_benchmark_regions_bit_identical(self, force_compiled_mlgp, name):
         prog = get_program(name)
         for bi, blk in enumerate(prog.basic_blocks):
             for region in blk.dfg.regions():
                 if len(region) < 2:
                     continue
-                ref, fast, arr = _mlgp_trio(blk.dfg, region, bi)
+                ref, fast, arr, comp = _mlgp_quartet(blk.dfg, region, bi)
                 assert (ref.partitions, ref.gains, ref.areas) == (
                     fast.partitions,
                     fast.gains,
                     fast.areas,
-                ) == (arr.partitions, arr.gains, arr.areas)
+                ) == (arr.partitions, arr.gains, arr.areas) == (
+                    comp.partitions, comp.gains, comp.areas
+                )
 
-    def test_port_constraint_sweep(self):
+    def test_port_constraint_sweep(self, force_compiled_mlgp):
         dfg = random_small_dfg(3, n=16)
         region = max(dfg.regions(), key=len)
         for mi, mo in ((2, 1), (3, 2), (6, 3)):
-            ref, fast, arr = _mlgp_trio(
+            ref, fast, arr, comp = _mlgp_quartet(
                 dfg, region, 7, max_inputs=mi, max_outputs=mo
             )
-            assert ref.partitions == fast.partitions == arr.partitions
+            assert (
+                ref.partitions == fast.partitions == arr.partitions
+                == comp.partitions
+            )
 
     def test_array_forced_batch_kernel_bit_identical(self, monkeypatch):
         """Pin the batch threshold to 0 so even tiny passes go through the
@@ -97,7 +119,30 @@ class TestMlgpDifferential:
                     arr.areas,
                 )
 
-    def test_array_counters_match_fast(self):
+    def test_compiled_forced_batch_kernel_bit_identical(
+        self, force_compiled_mlgp, monkeypatch
+    ):
+        """Same demand for the compiled scoring kernel: threshold pinned to
+        0, bitwise equality with the fast engine on real regions."""
+        prog = get_program("sha")
+        for bi, blk in enumerate(prog.basic_blocks):
+            for region in blk.dfg.regions():
+                if len(region) < 2:
+                    continue
+                fast = mlgp_partition(
+                    blk.dfg, region, seed=bi, engine="fast", use_cache=False
+                )
+                comp = mlgp_partition(
+                    blk.dfg, region, seed=bi, engine="compiled",
+                    use_cache=False,
+                )
+                assert (fast.partitions, fast.gains, fast.areas) == (
+                    comp.partitions,
+                    comp.gains,
+                    comp.areas,
+                )
+
+    def test_array_counters_match_fast(self, force_compiled_mlgp):
         """The prefill must not change the search: identical mlgp.moves and
         mlgp.repairs tallies, not just identical final partitions."""
         dfg = random_small_dfg(8, n=18)
@@ -109,7 +154,7 @@ class TestMlgpDifferential:
             snap = obs.metrics_snapshot()["counters"]
             return {k: v for k, v in snap.items() if k.startswith("mlgp.")}
 
-        assert counters("fast") == counters("array")
+        assert counters("fast") == counters("array") == counters("compiled")
 
     def test_seed_determinism(self):
         """Same seed -> same result; the seed is part of the cache key."""
